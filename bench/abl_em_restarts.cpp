@@ -1,0 +1,67 @@
+// Ablation — EM restarts vs separation reliability.
+//
+// Merging is irreversible in the protocol, so one bad EM local optimum
+// early in a run can permanently glue the outlier cloud to the good
+// collection. Restarting EM a few times per partition (keeping the best
+// surrogate objective) buys robustness near the critical separation. This
+// bench measures the missed-outlier ratio at the hard Δ = 5 regime over
+// several independent runs, for 1 / 2 / 4 restarts.
+#include <iostream>
+
+#include <ddc/gossip/network.hpp>
+#include <ddc/io/table.hpp>
+#include <ddc/metrics/outlier_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+int main() {
+  const double delta = 5.0;  // the hardest band of the Fig. 3 sweep
+  const std::size_t runs = 6;
+  const std::size_t n_good = 475;
+  const std::size_t n_out = 25;
+
+  std::cout << "=== Ablation: EM restarts at the critical separation "
+               "(Delta = " << delta << ", " << runs << " runs each) ===\n\n";
+
+  ddc::io::Table table({"restarts", "mean missed %", "worst run missed %",
+                        "runs fully separated (<10%)"});
+  for (std::size_t restarts : {1u, 2u, 4u}) {
+    double total = 0.0;
+    double worst = 0.0;
+    std::size_t separated = 0;
+    for (std::size_t run = 0; run < runs; ++run) {
+      ddc::stats::Rng rng(900 + run);
+      const auto scenario =
+          ddc::workload::outlier_scenario(delta, rng, n_good, n_out);
+      ddc::gossip::NetworkConfig config;
+      config.k = 2;
+      config.track_aux = true;
+      config.seed = 950 + run;
+      ddc::em::ReductionOptions reduction;
+      reduction.restarts = restarts;
+      ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
+          ddc::sim::Topology::complete(scenario.inputs.size()),
+          ddc::gossip::make_gm_nodes(scenario.inputs, config, reduction));
+      runner.run_rounds(40);
+
+      double missed = 0.0;
+      for (std::size_t i = 0; i < scenario.inputs.size(); ++i) {
+        missed += ddc::metrics::missed_outlier_ratio(
+                      runner.nodes()[i].classification(),
+                      scenario.outlier_flags) /
+                  static_cast<double>(scenario.inputs.size());
+      }
+      total += missed;
+      worst = std::max(worst, missed);
+      separated += missed < 0.10 ? 1 : 0;
+    }
+    table.add_row({static_cast<long long>(restarts),
+                   100.0 * total / static_cast<double>(runs), 100.0 * worst,
+                   static_cast<long long>(separated)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(restarts trade partition-time compute for escape from the "
+               "bad local optima that an irreversible-merge protocol can "
+               "never undo; see DESIGN.md, implementation notes)\n";
+  return 0;
+}

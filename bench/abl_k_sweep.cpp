@@ -1,0 +1,59 @@
+// Ablation — the collection bound k (adaptive-compression knob).
+//
+// k controls how lossy the in-network compression is: k = 1 degenerates to
+// average aggregation, k ≥ the true component count leaves room for exact
+// structure plus outlier slack. This bench sweeps k on the Fig. 2 workload
+// and reports recovery error and the average log-likelihood of a held-out
+// sample under node 0's converged mixture.
+#include <iostream>
+
+#include <ddc/gossip/network.hpp>
+#include <ddc/io/table.hpp>
+#include <ddc/metrics/gaussian_metrics.hpp>
+#include <ddc/stats/mixture_distance.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+#include "bench_util.hpp"
+
+int main() {
+  const std::size_t n = 300;
+  std::cout << "=== Ablation: k sweep on the Fig. 2 workload (n = " << n
+            << ") ===\n\n";
+
+  const ddc::stats::GaussianMixture truth = ddc::workload::fig2_mixture();
+  ddc::stats::Rng rng(70);
+  const auto inputs = ddc::workload::sample_inputs(truth, n, rng);
+  const auto holdout = ddc::workload::sample_inputs(truth, 500, rng);
+
+  ddc::io::Table table({"k", "rounds", "recovery error", "NISE",
+                        "holdout avg log-lik", "final collections"});
+  for (std::size_t k : {1u, 2u, 3u, 5u, 7u, 10u, 14u}) {
+    ddc::gossip::NetworkConfig config;
+    config.k = k;
+    config.seed = 71;
+    ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
+        ddc::sim::Topology::complete(n),
+        ddc::gossip::make_gm_nodes(inputs, config));
+    const std::size_t rounds =
+        ddc::bench::run_until_agreement<ddc::summaries::GaussianPolicy>(
+            runner, 1e-3, 5, 80);
+
+    const auto estimate =
+        ddc::summaries::to_mixture(runner.nodes()[0].classification());
+    double loglik = 0.0;
+    for (const auto& x : holdout) {
+      loglik += estimate.log_pdf(x) / static_cast<double>(holdout.size());
+    }
+    table.add_row({static_cast<long long>(k), static_cast<long long>(rounds),
+                   ddc::metrics::mixture_recovery_error(truth, estimate),
+                   ddc::stats::normalized_ise(truth, estimate), loglik,
+                   static_cast<long long>(estimate.size())});
+  }
+  table.print(std::cout);
+  std::cout << "\n(k below the true component count forces cross-cluster "
+               "merges; extra k costs little — surplus collections stay "
+               "small or singleton)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation — the weight quantum q.
+//
+// The paper quantizes weights to multiples of q to exclude Zeno effects
+// and assumes q ≪ 1/n. This bench makes the assumption concrete: on a
+// ring (where collection weights shrink geometrically between refills) we
+// sweep quanta-per-unit (q = 1 / qpu) and report final disagreement and
+// the worst relative-weight error against the exact cluster fractions.
+// Conservation is asserted exactly at every resolution — quantization
+// degrades precision, never conservation.
+#include <iostream>
+
+#include <ddc/gossip/network.hpp>
+#include <ddc/io/table.hpp>
+#include <ddc/metrics/classification_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/summaries/centroid.hpp>
+
+int main() {
+  const std::size_t n = 32;
+  const std::size_t rounds = 2000;
+
+  std::cout << "=== Ablation: weight quantum q = 1/qpu (n = " << n
+            << ", ring, centroid algorithm, " << rounds << " rounds) ===\n\n";
+
+  ddc::stats::Rng rng(80);
+  std::vector<ddc::linalg::Vector> inputs;
+  std::size_t low_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool low = i % 4 != 3;  // 3/4 low cluster, 1/4 high
+    low_count += low ? 1 : 0;
+    inputs.push_back(ddc::linalg::Vector{
+        low ? rng.normal(0.0, 1.0) : rng.normal(100.0, 1.0)});
+  }
+  const double true_fraction =
+      static_cast<double>(low_count) / static_cast<double>(n);
+
+  ddc::io::Table table({"quanta/unit", "q*n", "disagreement",
+                        "max weight-share error", "conserved"});
+  for (int log_qpu : {4, 8, 12, 16, 20, 28, 36, 44}) {
+    const std::int64_t qpu = std::int64_t{1} << log_qpu;
+    ddc::gossip::NetworkConfig config;
+    config.k = 2;
+    config.quanta_per_unit = qpu;
+    config.seed = 81;
+    ddc::sim::RoundRunnerOptions options;
+    options.selection = ddc::sim::NeighborSelection::round_robin;
+    options.seed = 82;
+    ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
+        ddc::sim::Topology::ring(n),
+        ddc::gossip::make_centroid_nodes(inputs, config), options);
+    runner.run_rounds(rounds);
+
+    const double disagreement = ddc::metrics::max_disagreement_vs_first<
+        ddc::summaries::CentroidPolicy>(runner.nodes());
+    double worst_share_error = 0.0;
+    for (const auto& node : runner.nodes()) {
+      const auto& c = node.classification();
+      for (std::size_t j = 0; j < c.size(); ++j) {
+        if (c[j].summary[0] < 50.0) {
+          worst_share_error =
+              std::max(worst_share_error,
+                       std::abs(c.relative_weight(j) - true_fraction));
+        }
+      }
+    }
+    const bool conserved = ddc::metrics::total_quanta(runner.nodes()) ==
+                           static_cast<std::int64_t>(n) * qpu;
+    table.add_row({static_cast<long long>(qpu),
+                   static_cast<double>(n) / static_cast<double>(qpu),
+                   disagreement, worst_share_error,
+                   std::string(conserved ? "yes" : "NO")});
+  }
+  table.print(std::cout);
+  std::cout << "\n(q·n ≪ 1 is the paper's assumption; coarse quanta distort "
+               "relative weights but conservation stays exact)\n";
+  return 0;
+}

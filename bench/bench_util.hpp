@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstddef>
+
+#include <ddc/metrics/classification_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+
+namespace ddc::bench {
+
+/// Runs gossip rounds until all nodes' classifications agree with node 0
+/// to within `threshold` (checked every `check_every` rounds), or until
+/// `max_rounds`. Returns the number of rounds executed — the
+/// "rounds to convergence" statistic the paper reports.
+template <typename SummaryPolicy, typename Node>
+std::size_t run_until_agreement(sim::RoundRunner<Node>& runner,
+                                double threshold, std::size_t check_every,
+                                std::size_t max_rounds) {
+  std::size_t rounds = 0;
+  while (rounds < max_rounds) {
+    for (std::size_t r = 0; r < check_every && rounds < max_rounds; ++r) {
+      runner.run_round();
+      ++rounds;
+    }
+    if (metrics::max_disagreement_vs_first<SummaryPolicy>(runner.nodes()) <
+        threshold) {
+      break;
+    }
+  }
+  return rounds;
+}
+
+}  // namespace ddc::bench

@@ -1,0 +1,82 @@
+// Figure 3 — outlier removal and robust average, Δ sweep.
+//
+// Paper setup (Section 5.3.2): 1,000 sensors; 950 values from the standard
+// normal N((0,0), I), 50 "outlier" values from N((0,Δ), 0.1·I), Δ swept
+// from 0 to 25; k = 2; run to convergence. Reported per Δ:
+//   * missed outliers [%] — outlier weight incorrectly assigned to the
+//     good collection (outliers defined by density < f_min = 5e-5 under
+//     the standard normal — the paper's value-based rule);
+//   * robust error — ‖estimated mean of the good collection − (0,0)‖,
+//     averaged over nodes;
+//   * regular error — the same for plain average aggregation (push-sum).
+//
+// Expected shape (paper Fig. 3b): regular error grows ~linearly in Δ;
+// missed-outlier % starts high and collapses once the collections
+// separate; robust error stays small throughout — it peaks slightly at
+// moderate Δ where near-threshold values blur the boundary, exactly the
+// effect the paper discusses.
+#include <iostream>
+
+#include <ddc/gossip/network.hpp>
+#include <ddc/io/table.hpp>
+#include <ddc/metrics/outlier_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+int main() {
+  const std::size_t rounds = 40;
+
+  std::cout << "=== Figure 3: outlier removal, 950 + 50 values, k = 2, "
+            << rounds << " rounds per Delta ===\n\n";
+
+  ddc::io::Table table({"delta", "missed outliers %", "robust error",
+                        "regular error"});
+  for (int delta_int = 0; delta_int <= 25; ++delta_int) {
+    const double delta = static_cast<double>(delta_int);
+    ddc::stats::Rng rng(300 + static_cast<std::uint64_t>(delta_int));
+    const ddc::workload::OutlierScenario scenario =
+        ddc::workload::outlier_scenario(delta, rng);
+    const std::size_t n = scenario.inputs.size();
+
+    ddc::gossip::NetworkConfig config;
+    config.k = 2;
+    config.track_aux = true;  // exact missed-outlier accounting
+    config.seed = 400 + static_cast<std::uint64_t>(delta_int);
+    // A few EM restarts per partition smooth out the bistability of the
+    // separation near the critical Δ (merging is irreversible, so one bad
+    // local optimum early can decide a whole run).
+    ddc::em::ReductionOptions reduction;
+    reduction.restarts = 3;
+    ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
+        ddc::sim::Topology::complete(n),
+        ddc::gossip::make_gm_nodes(scenario.inputs, config, reduction));
+
+    ddc::sim::RoundRunner<ddc::gossip::PushSumNode> baseline(
+        ddc::sim::Topology::complete(n),
+        ddc::gossip::make_push_sum_nodes(scenario.inputs));
+
+    runner.run_rounds(rounds);
+    baseline.run_rounds(rounds);
+
+    double missed = 0.0;
+    double robust = 0.0;
+    double regular = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      missed += ddc::metrics::missed_outlier_ratio(
+                    runner.nodes()[i].classification(),
+                    scenario.outlier_flags) /
+                static_cast<double>(n);
+      robust += ddc::metrics::robust_mean_error(
+                    runner.nodes()[i].classification(), scenario.true_mean) /
+                static_cast<double>(n);
+      regular += ddc::linalg::distance2(baseline.nodes()[i].estimate(),
+                                        scenario.true_mean) /
+                 static_cast<double>(n);
+    }
+    table.add_row({delta, 100.0 * missed, robust, regular});
+  }
+  table.print(std::cout);
+  std::cout << "\n(paper Fig. 3b: regular error grows ~linearly with Delta; "
+               "the robust protocol removes outliers once they separate)\n";
+  return 0;
+}

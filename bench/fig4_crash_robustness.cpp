@@ -1,0 +1,125 @@
+// Figure 4 — crash robustness and convergence speed.
+//
+// Paper setup: the Fig. 3 workload at Δ = 10; after each round every node
+// crashes independently with probability 0.05. Four curves of
+// mean-estimation error per round (0–60): {robust GM, regular push-sum} ×
+// {no crashes, with crashes}, each averaged over live nodes.
+//
+// Expected shape (paper Fig. 4): the robust protocol achieves a lower
+// error than regular aggregation throughout; crashes change neither the
+// convergence speed nor the final error materially; the classifier
+// converges about as fast as plain average aggregation.
+#include <iostream>
+
+#include <ddc/gossip/network.hpp>
+#include <ddc/io/table.hpp>
+#include <ddc/metrics/outlier_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+namespace {
+
+constexpr std::size_t kRounds = 60;
+constexpr double kDelta = 10.0;
+constexpr double kCrashProbability = 0.05;
+
+struct Series {
+  std::vector<double> error_per_round;
+  std::size_t final_alive = 0;
+};
+
+Series run_robust(const ddc::workload::OutlierScenario& scenario,
+                  double crash_probability) {
+  const std::size_t n = scenario.inputs.size();
+  ddc::gossip::NetworkConfig config;
+  config.k = 2;
+  config.seed = 44;
+  ddc::sim::RoundRunnerOptions options;
+  options.crash_probability = crash_probability;
+  options.seed = 45;
+  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
+      ddc::sim::Topology::complete(n),
+      ddc::gossip::make_gm_nodes(scenario.inputs, config), options);
+
+  Series series;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    runner.run_round();
+    double error = 0.0;
+    std::size_t alive = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!runner.alive(i)) continue;
+      ++alive;
+      error += ddc::metrics::robust_mean_error(
+          runner.nodes()[i].classification(), scenario.true_mean);
+    }
+    series.error_per_round.push_back(alive > 0 ? error / alive : 0.0);
+    series.final_alive = alive;
+  }
+  return series;
+}
+
+Series run_regular(const ddc::workload::OutlierScenario& scenario,
+                   double crash_probability) {
+  const std::size_t n = scenario.inputs.size();
+  ddc::sim::RoundRunnerOptions options;
+  options.crash_probability = crash_probability;
+  options.seed = 45;  // same crash schedule as the robust run
+  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner(
+      ddc::sim::Topology::complete(n),
+      ddc::gossip::make_push_sum_nodes(scenario.inputs), options);
+
+  Series series;
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    runner.run_round();
+    double error = 0.0;
+    std::size_t alive = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!runner.alive(i)) continue;
+      ++alive;
+      error += ddc::linalg::distance2(runner.nodes()[i].estimate(),
+                                      scenario.true_mean);
+    }
+    series.error_per_round.push_back(alive > 0 ? error / alive : 0.0);
+    series.final_alive = alive;
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 4: crash robustness (Delta = " << kDelta
+            << ", crash p = " << kCrashProbability << "/round) ===\n\n";
+
+  ddc::stats::Rng rng(4);
+  const ddc::workload::OutlierScenario scenario =
+      ddc::workload::outlier_scenario(kDelta, rng);
+
+  const Series robust_clean = run_robust(scenario, 0.0);
+  const Series robust_crash = run_robust(scenario, kCrashProbability);
+  const Series regular_clean = run_regular(scenario, 0.0);
+  const Series regular_crash = run_regular(scenario, kCrashProbability);
+
+  ddc::io::Table table({"round", "robust", "robust+crashes", "regular",
+                        "regular+crashes"});
+  for (std::size_t r = 0; r < kRounds; r += (r < 10 ? 1 : 5)) {
+    table.add_row({static_cast<long long>(r + 1),
+                   robust_clean.error_per_round[r],
+                   robust_crash.error_per_round[r],
+                   regular_clean.error_per_round[r],
+                   regular_crash.error_per_round[r]});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nlive nodes after " << kRounds
+            << " rounds with crashes: " << robust_crash.final_alive << " / "
+            << scenario.inputs.size() << '\n'
+            << "final errors:  robust " << robust_clean.error_per_round.back()
+            << "  robust+crashes " << robust_crash.error_per_round.back()
+            << "  regular " << regular_clean.error_per_round.back()
+            << "  regular+crashes " << regular_crash.error_per_round.back()
+            << '\n'
+            << "(paper Fig. 4: robust < regular throughout; crashes barely "
+               "move either curve)\n";
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Microbenchmarks (google-benchmark) for the computational kernels the
+// protocol spends its time in: small-matrix factorizations, Gaussian
+// densities, moment matching, EM mixture reduction, the classifier's
+// split/receive cycle, and the simulator's event loop.
+#include <benchmark/benchmark.h>
+
+#include <ddc/core/classifier.hpp>
+#include <ddc/em/mixture_reduction.hpp>
+#include <ddc/gossip/network.hpp>
+#include <ddc/linalg/cholesky.hpp>
+#include <ddc/linalg/eigen_sym.hpp>
+#include <ddc/sim/event_queue.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/stats/gaussian.hpp>
+
+namespace {
+
+using ddc::linalg::Matrix;
+using ddc::linalg::Vector;
+using ddc::stats::Gaussian;
+using ddc::stats::GaussianMixture;
+
+Matrix random_spd(std::size_t d, ddc::stats::Rng& rng) {
+  Matrix b(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) b(r, c) = rng.normal();
+  }
+  Matrix a = b * ddc::linalg::transpose(b);
+  for (std::size_t i = 0; i < d; ++i) a(i, i) += 0.5;
+  return a;
+}
+
+void BM_CholeskyFactorize(benchmark::State& state) {
+  ddc::stats::Rng rng(1);
+  const Matrix a = random_spd(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    ddc::linalg::Cholesky f(a);
+    benchmark::DoNotOptimize(f);
+  }
+}
+BENCHMARK(BM_CholeskyFactorize)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EigenSym(benchmark::State& state) {
+  ddc::stats::Rng rng(2);
+  const Matrix a = random_spd(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto e = ddc::linalg::eigen_sym(a);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_EigenSym)->Arg(2)->Arg(4);
+
+void BM_GaussianLogPdf(benchmark::State& state) {
+  ddc::stats::Rng rng(3);
+  const Gaussian g(Vector{0.0, 0.0}, random_spd(2, rng));
+  const Vector x{0.5, -0.3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.log_pdf(x));
+  }
+}
+BENCHMARK(BM_GaussianLogPdf);
+
+void BM_ExpectedLogPdf(benchmark::State& state) {
+  ddc::stats::Rng rng(4);
+  const Gaussian a(Vector{0.0, 0.0}, random_spd(2, rng));
+  const Gaussian b(Vector{1.0, 1.0}, random_spd(2, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddc::stats::expected_log_pdf(a, b));
+  }
+}
+BENCHMARK(BM_ExpectedLogPdf);
+
+void BM_MomentMatch(benchmark::State& state) {
+  ddc::stats::Rng rng(5);
+  std::vector<ddc::stats::WeightedGaussian> parts;
+  for (int i = 0; i < state.range(0); ++i) {
+    parts.push_back({rng.uniform(0.5, 2.0),
+                     Gaussian(Vector{rng.normal(), rng.normal()},
+                              random_spd(2, rng))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddc::stats::moment_match(parts));
+  }
+}
+BENCHMARK(BM_MomentMatch)->Arg(2)->Arg(8)->Arg(14);
+
+void BM_ReduceEm(benchmark::State& state) {
+  ddc::stats::Rng rng(6);
+  GaussianMixture input;
+  for (int i = 0; i < state.range(0); ++i) {
+    const double cx = (i % 3) * 10.0;
+    input.add({rng.uniform(0.5, 2.0),
+               Gaussian(Vector{rng.normal(cx, 1.0), rng.normal()},
+                        random_spd(2, rng))});
+  }
+  for (auto _ : state) {
+    ddc::stats::Rng em_rng(7);
+    benchmark::DoNotOptimize(
+        ddc::em::reduce_em(input, 3, em_rng));
+  }
+}
+BENCHMARK(BM_ReduceEm)->Arg(6)->Arg(14);
+
+void BM_ReduceRunnalls(benchmark::State& state) {
+  ddc::stats::Rng rng(8);
+  GaussianMixture input;
+  for (int i = 0; i < state.range(0); ++i) {
+    const double cx = (i % 3) * 10.0;
+    input.add({rng.uniform(0.5, 2.0),
+               Gaussian(Vector{rng.normal(cx, 1.0), rng.normal()},
+                        random_spd(2, rng))});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ddc::em::reduce_runnalls(input, 3));
+  }
+}
+BENCHMARK(BM_ReduceRunnalls)->Arg(6)->Arg(14);
+
+void BM_ClassifierExchange(benchmark::State& state) {
+  // One full split→receive cycle between two GM nodes.
+  ddc::stats::Rng rng(9);
+  std::vector<Vector> inputs = {Vector{0.0, 0.0}, Vector{5.0, 5.0}};
+  ddc::gossip::NetworkConfig config;
+  config.k = static_cast<std::size_t>(state.range(0));
+  auto nodes = ddc::gossip::make_gm_nodes(inputs, config);
+  for (auto _ : state) {
+    auto msg = nodes[0].prepare_message();
+    if (!msg.empty()) {
+      std::vector<ddc::gossip::GmNode::Message> batch;
+      batch.push_back(std::move(msg));
+      nodes[1].absorb(std::move(batch));
+    }
+    auto back = nodes[1].prepare_message();
+    if (!back.empty()) {
+      std::vector<ddc::gossip::GmNode::Message> batch;
+      batch.push_back(std::move(back));
+      nodes[0].absorb(std::move(batch));
+    }
+  }
+}
+BENCHMARK(BM_ClassifierExchange)->Arg(2)->Arg(7);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  for (auto _ : state) {
+    ddc::sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.schedule(static_cast<double>((i * 7919) % 1000), [] {});
+    }
+    q.run(1000);
+    benchmark::DoNotOptimize(q.executed());
+  }
+}
+BENCHMARK(BM_EventQueueSchedule)->Unit(benchmark::kMicrosecond);
+
+void BM_PushSumRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ddc::stats::Rng rng(10);
+  std::vector<Vector> inputs;
+  for (std::size_t i = 0; i < n; ++i) inputs.push_back(Vector{rng.normal()});
+  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner(
+      ddc::sim::Topology::complete(n),
+      ddc::gossip::make_push_sum_nodes(inputs));
+  for (auto _ : state) {
+    runner.run_round();
+  }
+}
+BENCHMARK(BM_PushSumRound)->Arg(1000)->Unit(benchmark::kMicrosecond);
+
+void BM_GmNetworkRound(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ddc::stats::Rng rng(11);
+  std::vector<Vector> inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(Vector{rng.normal(i % 2 == 0 ? 0.0 : 10.0, 1.0),
+                            rng.normal()});
+  }
+  ddc::gossip::NetworkConfig config;
+  config.k = 2;
+  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
+      ddc::sim::Topology::complete(n),
+      ddc::gossip::make_gm_nodes(inputs, config));
+  for (auto _ : state) {
+    runner.run_round();
+  }
+}
+BENCHMARK(BM_GmNetworkRound)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# One-shot reproduction: configure, build, run the full test suite, and
+# regenerate every figure/ablation table into bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+
+echo
+echo "Done. Paper-vs-measured commentary: EXPERIMENTS.md"

@@ -1,0 +1,145 @@
+// Runtime verification of the paper's correctness machinery.
+//
+// The convergence proof (Section 6) reasons about the *pool* of all
+// collections in the system — at nodes AND in transit. These auditors make
+// that reasoning executable: a deployment (or a test, or a fuzzer) feeds
+// them the pool after every event and they check
+//
+//   * exact conservation of weight quanta (the substrate of the proof),
+//   * Lemma 1: f(aux) = summary and ‖aux‖₁ = weight for every collection,
+//   * Lemma 2: the maximal reference angles ϕ_{i,max} never increase.
+//
+// All auditors throw ddc::audit::AuditFailure with a description of the
+// first violated invariant.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <ddc/common/error.hpp>
+#include <ddc/core/collection.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::audit {
+
+/// An invariant of the protocol was observed broken.
+class AuditFailure : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A borrowed view of the system pool: every collection currently held by
+/// a node or sitting in a channel.
+template <typename Summary>
+using Pool = std::vector<const core::Collection<Summary>*>;
+
+/// Collects a pool from node classifications plus in-flight messages.
+/// `nodes` is any range of objects exposing `classification()`;
+/// `in_flight` is a range of Classification<Summary>.
+template <typename Summary, typename Nodes, typename Messages>
+[[nodiscard]] Pool<Summary> collect_pool(const Nodes& nodes,
+                                         const Messages& in_flight) {
+  Pool<Summary> pool;
+  for (const auto& node : nodes) {
+    for (const auto& c : node.classification()) pool.push_back(&c);
+  }
+  for (const auto& msg : in_flight) {
+    for (const auto& c : msg) pool.push_back(&c);
+  }
+  return pool;
+}
+
+/// Checks exact conservation: the pool's total quanta must equal
+/// `expected_quanta` (n × quanta_per_unit in a loss-free system).
+template <typename Summary>
+void check_conservation(const Pool<Summary>& pool,
+                        std::int64_t expected_quanta) {
+  std::int64_t total = 0;
+  for (const auto* c : pool) total += c->weight.quanta();
+  if (total != expected_quanta) {
+    throw AuditFailure("conservation violated: pool holds " +
+                       std::to_string(total) + " quanta, expected " +
+                       std::to_string(expected_quanta));
+  }
+}
+
+/// Checks Lemma 1 on every collection of the pool: the summary equals f
+/// applied to the auxiliary mixture vector (Equation 1) and the weight
+/// equals its L1 norm (Equation 2). Requires aux tracking to be enabled.
+/// `Policy` must provide summarize_mixture and approx_equal (all shipped
+/// policies do).
+template <typename Policy>
+void check_lemma1(const Pool<typename Policy::Summary>& pool,
+                  const std::vector<typename Policy::Value>& inputs,
+                  std::int64_t quanta_per_unit, double tol) {
+  for (std::size_t idx = 0; idx < pool.size(); ++idx) {
+    const auto* c = pool[idx];
+    if (!c->aux.has_value()) {
+      throw AuditFailure("lemma 1: collection " + std::to_string(idx) +
+                         " carries no auxiliary vector");
+    }
+    const double weight_value = c->weight.value(quanta_per_unit);
+    const double aux_norm = linalg::norm1(*c->aux);
+    if (std::abs(aux_norm - weight_value) > tol) {
+      throw AuditFailure("lemma 1 (eq. 2): ‖aux‖₁ = " +
+                         std::to_string(aux_norm) + " but weight = " +
+                         std::to_string(weight_value));
+    }
+    const auto expected = Policy::summarize_mixture(inputs, *c->aux);
+    if (!Policy::approx_equal(expected, c->summary, tol)) {
+      throw AuditFailure("lemma 1 (eq. 1): summary of collection " +
+                         std::to_string(idx) +
+                         " does not equal f(aux) within tolerance");
+    }
+  }
+}
+
+/// Tracks the maximal reference angles ϕ_{i,max}(t) across observations
+/// and checks Lemma 2's monotone decrease. Feed it the pool after each
+/// event (or each round); it throws on the first increase beyond `slack`.
+class ReferenceAngleMonitor {
+ public:
+  /// `num_inputs` is n, the mixture-space dimension; `slack` absorbs
+  /// floating-point jitter in the angle computation.
+  explicit ReferenceAngleMonitor(std::size_t num_inputs, double slack = 1e-9)
+      : previous_(num_inputs, -1.0), slack_(slack) {}
+
+  template <typename Summary>
+  void observe(const Pool<Summary>& pool) {
+    std::vector<double> current(previous_.size(), 0.0);
+    for (const auto* c : pool) {
+      if (!c->aux.has_value()) {
+        throw AuditFailure("lemma 2: collection carries no auxiliary vector");
+      }
+      for (std::size_t i = 0; i < previous_.size(); ++i) {
+        current[i] = std::max(
+            current[i],
+            linalg::angle_between(*c->aux,
+                                  linalg::unit_vector(previous_.size(), i)));
+      }
+    }
+    for (std::size_t i = 0; i < previous_.size(); ++i) {
+      if (previous_[i] >= 0.0 && current[i] > previous_[i] + slack_) {
+        throw AuditFailure(
+            "lemma 2 violated: ϕ_max for input " + std::to_string(i) +
+            " increased from " + std::to_string(previous_[i]) + " to " +
+            std::to_string(current[i]));
+      }
+    }
+    previous_ = std::move(current);
+  }
+
+  /// Latest observed maxima (−1 before the first observation).
+  [[nodiscard]] const std::vector<double>& maxima() const noexcept {
+    return previous_;
+  }
+
+ private:
+  std::vector<double> previous_;
+  double slack_;
+};
+
+}  // namespace ddc::audit

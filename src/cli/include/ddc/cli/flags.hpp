@@ -1,0 +1,72 @@
+// Minimal dependency-free command-line flag parsing for the ddcsim tool.
+//
+// Supports `--name value`, `--name=value`, bare boolean `--name`, and
+// `--help`. Flags are declared up front with a description and default, so
+// `--help` output is generated rather than hand-maintained.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::cli {
+
+/// Raised on unknown flags, missing values, or malformed numbers.
+class FlagError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A declared-flags parser with typed accessors.
+class Flags {
+ public:
+  Flags(std::string program, std::string description);
+
+  /// Declares a string-valued flag (every flag is stored as text; typed
+  /// getters convert on access).
+  void declare(const std::string& name, const std::string& description,
+               const std::string& default_value);
+
+  /// Declares a boolean flag (default false; `--name` or `--name=true`).
+  void declare_bool(const std::string& name, const std::string& description);
+
+  /// Parses argv. Returns false if `--help` was requested (render it with
+  /// `help_text()`); throws FlagError on malformed input. Later calls see
+  /// values set by earlier ones (last setting wins).
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// Parses a pre-split token list (testing convenience).
+  [[nodiscard]] bool parse(const std::vector<std::string>& args);
+
+  // Typed accessors; flag must have been declared.
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] long long get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  /// True iff the flag was explicitly set on the command line.
+  [[nodiscard]] bool is_set(const std::string& name) const;
+
+  /// The generated --help text.
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  struct Entry {
+    std::string description;
+    std::string default_value;
+    bool boolean = false;
+    std::optional<std::string> value;
+  };
+
+  [[nodiscard]] const Entry& entry(const std::string& name) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Entry> entries_;
+  std::vector<std::string> declaration_order_;
+};
+
+}  // namespace ddc::cli

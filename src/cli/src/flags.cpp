@@ -1,0 +1,131 @@
+#include <ddc/cli/flags.hpp>
+
+#include <algorithm>
+#include <sstream>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::cli {
+
+Flags::Flags(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Flags::declare(const std::string& name, const std::string& description,
+                    const std::string& default_value) {
+  DDC_EXPECTS(!name.empty());
+  DDC_EXPECTS(!entries_.contains(name));
+  entries_[name] = Entry{description, default_value, false, std::nullopt};
+  declaration_order_.push_back(name);
+}
+
+void Flags::declare_bool(const std::string& name,
+                         const std::string& description) {
+  DDC_EXPECTS(!name.empty());
+  DDC_EXPECTS(!entries_.contains(name));
+  entries_[name] = Entry{description, "false", true, std::nullopt};
+  declaration_order_.push_back(name);
+}
+
+bool Flags::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool Flags::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg.size() < 3 || arg[0] != '-' || arg[1] != '-') {
+      throw FlagError("unexpected argument '" + arg + "' (flags are --name)");
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw FlagError("unknown flag --" + name + " (see --help)");
+    }
+    Entry& e = it->second;
+    if (!value) {
+      if (e.boolean) {
+        value = "true";
+      } else if (i + 1 < args.size()) {
+        value = args[++i];
+      } else {
+        throw FlagError("flag --" + name + " needs a value");
+      }
+    }
+    if (e.boolean && *value != "true" && *value != "false") {
+      throw FlagError("flag --" + name + " expects true/false, got '" +
+                      *value + "'");
+    }
+    e.value = std::move(*value);
+  }
+  return true;
+}
+
+const Flags::Entry& Flags::entry(const std::string& name) const {
+  const auto it = entries_.find(name);
+  DDC_EXPECTS(it != entries_.end());
+  return it->second;
+}
+
+const std::string& Flags::get(const std::string& name) const {
+  const Entry& e = entry(name);
+  return e.value ? *e.value : e.default_value;
+}
+
+long long Flags::get_int(const std::string& name) const {
+  const std::string& raw = get(name);
+  try {
+    std::size_t consumed = 0;
+    const long long v = std::stoll(raw, &consumed);
+    if (consumed != raw.size()) throw std::invalid_argument(raw);
+    return v;
+  } catch (const std::exception&) {
+    throw FlagError("flag --" + name + ": '" + raw + "' is not an integer");
+  }
+}
+
+double Flags::get_double(const std::string& name) const {
+  const std::string& raw = get(name);
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(raw, &consumed);
+    if (consumed != raw.size()) throw std::invalid_argument(raw);
+    return v;
+  } catch (const std::exception&) {
+    throw FlagError("flag --" + name + ": '" + raw + "' is not a number");
+  }
+}
+
+bool Flags::get_bool(const std::string& name) const {
+  return get(name) == "true";
+}
+
+bool Flags::is_set(const std::string& name) const {
+  return entry(name).value.has_value();
+}
+
+std::string Flags::help_text() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\nflags:\n";
+  std::size_t width = 4;  // "help"
+  for (const auto& name : declaration_order_) {
+    width = std::max(width, name.size());
+  }
+  for (const auto& name : declaration_order_) {
+    const Entry& e = entries_.at(name);
+    os << "  --" << name << std::string(width - name.size() + 2, ' ')
+       << e.description << " (default: " << e.default_value << ")\n";
+  }
+  os << "  --help" << std::string(width - 4 + 2, ' ')
+     << "show this message\n";
+  return os.str();
+}
+
+}  // namespace ddc::cli

@@ -1,0 +1,35 @@
+// Precondition / postcondition / invariant checking for the ddc libraries.
+//
+// Following the C++ Core Guidelines (I.6, I.8, E.12) we distinguish:
+//   * DDC_EXPECTS(cond)  — precondition on a public API; violations are
+//                          programming errors and throw ddc::ContractViolation
+//                          so tests can observe them.
+//   * DDC_ENSURES(cond)  — postcondition; same policy as DDC_EXPECTS.
+//   * DDC_ASSERT(cond)   — internal invariant; compiled out in NDEBUG-like
+//                          builds only if DDC_DISABLE_INTERNAL_ASSERTS is set.
+//
+// Throwing (rather than aborting) keeps the library testable and lets a
+// long-running simulation surface a broken invariant as a recoverable error.
+#pragma once
+
+#include <ddc/common/error.hpp>
+
+#define DDC_STRINGIZE_IMPL(x) #x
+#define DDC_STRINGIZE(x) DDC_STRINGIZE_IMPL(x)
+
+#define DDC_CONTRACT_CHECK(kind, cond)                                          \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      throw ::ddc::ContractViolation(kind " failed: " #cond " at " __FILE__     \
+                                          ":" DDC_STRINGIZE(__LINE__));         \
+    }                                                                           \
+  } while (false)
+
+#define DDC_EXPECTS(cond) DDC_CONTRACT_CHECK("precondition", cond)
+#define DDC_ENSURES(cond) DDC_CONTRACT_CHECK("postcondition", cond)
+
+#ifdef DDC_DISABLE_INTERNAL_ASSERTS
+#define DDC_ASSERT(cond) ((void)0)
+#else
+#define DDC_ASSERT(cond) DDC_CONTRACT_CHECK("invariant", cond)
+#endif

@@ -1,0 +1,40 @@
+// Error types shared by all ddc libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ddc {
+
+/// Base class for all errors raised by the ddc libraries.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A contract (precondition, postcondition, or invariant) was violated.
+/// Indicates a programming error in the caller or in the library itself.
+class ContractViolation : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A numerical operation could not be carried out (singular matrix,
+/// non-positive-definite covariance, empty sample, ...).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A simulation was configured inconsistently (disconnected topology,
+/// out-of-range node id, ...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws NumericalError with location info. Out-of-line to keep call
+/// sites small.
+[[noreturn]] void throw_numerical_error(const std::string& what);
+
+}  // namespace ddc

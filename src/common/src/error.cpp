@@ -1,0 +1,7 @@
+#include <ddc/common/error.hpp>
+
+namespace ddc {
+
+void throw_numerical_error(const std::string& what) { throw NumericalError(what); }
+
+}  // namespace ddc

@@ -1,0 +1,248 @@
+// The generic distributed classification engine — paper Algorithm 1.
+//
+// GenericClassifier is the per-node state machine, written against two
+// compile-time policies (the paper's instantiation functions) and kept
+// deliberately transport-agnostic: `split()` produces the classification
+// to hand to a neighbor, `receive()` consumes one. The gossip runtimes in
+// src/gossip bind it to the network simulator; tests drive it directly.
+//
+// Engine-enforced guarantees, independent of the policies plugged in:
+//   * weight conservation: split() and receive() preserve the total number
+//     of weight quanta held by the node plus the quanta handed out;
+//   * the k-bound: after receive() at most k collections remain;
+//   * the one-quantum rule (Section 4.1 constraint (2)): a group that is a
+//     lone collection of weight q is re-homed into the nearest other group
+//     before merging, whatever the partition policy returned;
+//   * auxiliary correctness: when tracking is on, the mixture-space vector
+//     of every collection is maintained exactly as in the paper's
+//     dashed-frame auxiliary code, so Lemma 1 can be *checked* at runtime.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/core/collection.hpp>
+#include <ddc/core/policy.hpp>
+#include <ddc/core/weight.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::core {
+
+/// Configuration of a classifier node.
+struct ClassifierOptions {
+  /// Maximum number of collections a node may hold (the paper's k).
+  std::size_t k = 2;
+
+  /// Weight resolution: the paper's q is 1/quanta_per_unit. Must satisfy
+  /// quanta_per_unit ≫ number of nodes for the algorithm's assumption
+  /// q ≪ 1/n to hold.
+  std::int64_t quanta_per_unit = std::int64_t{1} << 20;
+
+  /// When true, every collection carries its auxiliary mixture-space
+  /// vector (O(num_nodes) memory per collection). For tests and metrics.
+  bool track_aux = false;
+
+  /// Total number of nodes (aux-vector dimension). Required iff track_aux.
+  std::size_t num_nodes = 0;
+
+  /// This node's input index in the mixture space. Required iff track_aux.
+  std::size_t node_index = 0;
+};
+
+/// Counters describing the work a classifier has performed.
+struct ClassifierStats {
+  std::uint64_t splits = 0;
+  std::uint64_t receives = 0;
+  std::uint64_t collections_merged = 0;
+  std::uint64_t singleton_rehomes = 0;
+};
+
+/// Per-node engine of the generic algorithm, instantiated with a
+/// SummaryPolicy (domain S, valToSummary, mergeSet, dS) and a
+/// PartitionPolicy (the merge-decision heuristic).
+template <SummaryPolicy SP, PartitionPolicy<typename SP::Summary> PP>
+class GenericClassifier {
+ public:
+  using Value = typename SP::Value;
+  using Summary = typename SP::Summary;
+  /// The wire format: a classification (Algorithm 1 sends one per gossip
+  /// exchange; its size is bounded by k, independent of n).
+  using Message = Classification<Summary>;
+
+  /// Initializes the node with its input value (Algorithm 1, line 2):
+  /// one collection of weight 1 whose summary is valToSummary(input).
+  GenericClassifier(const Value& input, PP partition_policy,
+                    ClassifierOptions options)
+      : partition_policy_(std::move(partition_policy)),
+        options_(options) {
+    DDC_EXPECTS(options_.k >= 1);
+    DDC_EXPECTS(options_.quanta_per_unit >= 1);
+    if (options_.track_aux) {
+      DDC_EXPECTS(options_.num_nodes > 0);
+      DDC_EXPECTS(options_.node_index < options_.num_nodes);
+    }
+    Collection<Summary> initial{
+        SP::val_to_summary(input), Weight::one(options_.quanta_per_unit), {}};
+    if (options_.track_aux) {
+      initial.aux =
+          linalg::unit_vector(options_.num_nodes, options_.node_index);
+    }
+    classification_.add(std::move(initial));
+  }
+
+  /// Algorithm 1, lines 5–7: halves every collection, keeps one half and
+  /// returns the other for transmission. Collections whose weight is a
+  /// single quantum cannot be halved; they stay whole and contribute
+  /// nothing to the message (which may therefore be empty).
+  [[nodiscard]] Message split() {
+    ++stats_.splits;
+    Message outgoing;
+    for (auto& c : classification_.collections()) {
+      const Weight kept = c.weight.half();
+      const Weight sent = c.weight.remainder_after_half();
+      DDC_ASSERT(kept + sent == c.weight);
+      if (sent.is_zero()) continue;  // 1-quantum collection: nothing to send
+      Collection<Summary> out{c.summary, sent, {}};
+      if (c.aux) {
+        // Auxiliary code of Algorithm 1: scale by the exact weight ratios.
+        const double kept_ratio = static_cast<double>(kept.quanta()) /
+                                  static_cast<double>(c.weight.quanta());
+        out.aux = *c.aux * (1.0 - kept_ratio);
+        *c.aux *= kept_ratio;
+      }
+      c.weight = kept;
+      outgoing.add(std::move(out));
+    }
+    return outgoing;
+  }
+
+  /// Algorithm 1, lines 8–11: unions `incoming` with the local
+  /// classification, asks the partition policy for a grouping, repairs the
+  /// one-quantum rule if necessary, and merges each group with mergeSet.
+  void receive(Message incoming) {
+    ++stats_.receives;
+    Classification<Summary> big_set = std::move(classification_);
+    classification_ = Classification<Summary>();
+    big_set.absorb(std::move(incoming));
+    DDC_ASSERT(!big_set.empty());
+
+    Grouping groups = compute_grouping(big_set);
+    merge_groups(std::move(big_set), groups);
+    DDC_ENSURES(classification_.size() <= options_.k);
+  }
+
+  /// The node's current classification (the paper's classificationᵢ(t)).
+  [[nodiscard]] const Classification<Summary>& classification() const noexcept {
+    return classification_;
+  }
+
+  [[nodiscard]] const ClassifierOptions& options() const noexcept {
+    return options_;
+  }
+
+  [[nodiscard]] const ClassifierStats& stats() const noexcept { return stats_; }
+
+  /// The partition policy (e.g. to inspect an EM policy's diagnostics).
+  [[nodiscard]] const PP& partition_policy() const noexcept {
+    return partition_policy_;
+  }
+
+ private:
+  /// Runs the policy and enforces the structural constraints of
+  /// Section 4.1 on its output.
+  [[nodiscard]] Grouping compute_grouping(const Classification<Summary>& big_set) {
+    std::vector<WeightedSummary<Summary>> flat;
+    flat.reserve(big_set.size());
+    for (const auto& c : big_set) {
+      flat.push_back(WeightedSummary<Summary>{
+          c.summary, static_cast<double>(c.weight.quanta())});
+    }
+
+    Grouping groups = partition_policy_.partition(flat, options_.k);
+    DDC_ENSURES(is_valid_grouping(groups, flat.size()));
+    DDC_ENSURES(groups.size() <= options_.k);
+
+    rehome_quantum_singletons(big_set, flat, groups);
+    return groups;
+  }
+
+  /// Constraint (2) of Section 4.1: every collection of weight exactly q
+  /// must be merged with at least one other. Any grouping that leaves such
+  /// a collection alone is repaired by moving it into the group whose
+  /// members are nearest in dS (the proof only needs *some* merge to
+  /// happen; nearest keeps the repair quality-neutral).
+  void rehome_quantum_singletons(const Classification<Summary>& big_set,
+                                 const std::vector<WeightedSummary<Summary>>& flat,
+                                 Grouping& groups) {
+    if (groups.size() <= 1) return;  // nothing to re-home into
+    for (std::size_t g = 0; g < groups.size();) {
+      if (groups[g].size() != 1 ||
+          !big_set[groups[g].front()].weight.is_single_quantum()) {
+        ++g;
+        continue;
+      }
+      const std::size_t lone = groups[g].front();
+      // Find the nearest collection in any other group.
+      std::size_t best_group = groups.size();
+      double best_distance = 0.0;
+      for (std::size_t h = 0; h < groups.size(); ++h) {
+        if (h == g) continue;
+        for (const std::size_t j : groups[h]) {
+          const double dist =
+              SP::distance(flat[lone].summary, flat[j].summary);
+          if (best_group == groups.size() || dist < best_distance) {
+            best_group = h;
+            best_distance = dist;
+          }
+        }
+      }
+      DDC_ASSERT(best_group < groups.size());
+      groups[best_group].push_back(lone);
+      groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(g));
+      ++stats_.singleton_rehomes;
+      // Do not advance g: the element now at position g is unexamined.
+    }
+  }
+
+  /// Merges each group into one collection (Algorithm 1, line 11).
+  /// Singleton groups keep their collection unchanged — mergeSet over one
+  /// part is the identity by R4, and skipping it avoids numerical drift.
+  void merge_groups(Classification<Summary>&& big_set, const Grouping& groups) {
+    for (const auto& group : groups) {
+      DDC_ASSERT(!group.empty());
+      if (group.size() == 1) {
+        classification_.add(std::move(big_set[group.front()]));
+        continue;
+      }
+      std::vector<WeightedSummary<Summary>> parts;
+      parts.reserve(group.size());
+      Weight weight;
+      std::optional<linalg::Vector> aux;
+      for (const std::size_t j : group) {
+        auto& c = big_set[j];
+        parts.push_back(WeightedSummary<Summary>{
+            c.summary, static_cast<double>(c.weight.quanta())});
+        weight += c.weight;
+        if (c.aux) {
+          if (aux) {
+            *aux += *c.aux;
+          } else {
+            aux = std::move(*c.aux);
+          }
+        }
+      }
+      stats_.collections_merged += group.size();
+      classification_.add(Collection<Summary>{SP::merge_set(parts), weight,
+                                              std::move(aux)});
+    }
+  }
+
+  PP partition_policy_;
+  ClassifierOptions options_;
+  Classification<Summary> classification_;
+  ClassifierStats stats_;
+};
+
+}  // namespace ddc::core

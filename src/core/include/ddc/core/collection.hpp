@@ -1,0 +1,117 @@
+// Collections and classifications (paper Definitions 1 and 2).
+//
+// The algorithm never materializes a collection's value multiset; a
+// collection travels as its ⟨summary, weight⟩ pair, optionally accompanied
+// by the auxiliary mixture-space vector of Section 4.2 that the paper uses
+// to prove correctness and that our tests and metrics use to *check* it.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/core/weight.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::core {
+
+/// A collection as carried by the protocol: an application-specific
+/// summary, a quantized weight, and (optionally) the auxiliary mixture
+/// vector whose j'th component is the amount of input value j's weight
+/// contained in the collection.
+template <typename Summary>
+struct Collection {
+  Summary summary;
+  Weight weight;
+
+  /// Auxiliary mixture-space vector (R^n). Engaged only when the owning
+  /// classifier was configured to track it; it costs O(n) per collection
+  /// and exists for verification, metrics, and experiments — the protocol
+  /// itself never reads it.
+  std::optional<linalg::Vector> aux;
+};
+
+/// A classification: a bounded set of collections (weighted summaries).
+/// Thin sequence wrapper that maintains no cross-collection invariant
+/// beyond "weights are positive"; the classifier enforces the k-bound.
+template <typename Summary>
+class Classification {
+ public:
+  using value_type = Collection<Summary>;
+
+  Classification() = default;
+
+  explicit Classification(std::vector<Collection<Summary>> collections)
+      : collections_(std::move(collections)) {
+    for (const auto& c : collections_) DDC_EXPECTS(c.weight.positive());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return collections_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return collections_.empty(); }
+
+  [[nodiscard]] const Collection<Summary>& operator[](std::size_t i) const {
+    DDC_EXPECTS(i < collections_.size());
+    return collections_[i];
+  }
+  [[nodiscard]] Collection<Summary>& operator[](std::size_t i) {
+    DDC_EXPECTS(i < collections_.size());
+    return collections_[i];
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return collections_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return collections_.end(); }
+  [[nodiscard]] auto begin() noexcept { return collections_.begin(); }
+  [[nodiscard]] auto end() noexcept { return collections_.end(); }
+
+  /// Appends a collection. Requires positive weight.
+  void add(Collection<Summary> c) {
+    DDC_EXPECTS(c.weight.positive());
+    collections_.push_back(std::move(c));
+  }
+
+  /// Moves all collections out of `other` into this classification.
+  void absorb(Classification&& other) {
+    collections_.reserve(collections_.size() + other.collections_.size());
+    for (auto& c : other.collections_) collections_.push_back(std::move(c));
+    other.collections_.clear();
+  }
+
+  /// Sum of the collection weights.
+  [[nodiscard]] Weight total_weight() const noexcept {
+    Weight acc;
+    for (const auto& c : collections_) acc += c.weight;
+    return acc;
+  }
+
+  /// Weight of collection `i` as a fraction of the total. Requires a
+  /// nonempty classification.
+  [[nodiscard]] double relative_weight(std::size_t i) const {
+    DDC_EXPECTS(i < collections_.size());
+    const Weight total = total_weight();
+    DDC_EXPECTS(total.positive());
+    return static_cast<double>(collections_[i].weight.quanta()) /
+           static_cast<double>(total.quanta());
+  }
+
+  [[nodiscard]] const std::vector<Collection<Summary>>& collections() const noexcept {
+    return collections_;
+  }
+  [[nodiscard]] std::vector<Collection<Summary>>& collections() noexcept {
+    return collections_;
+  }
+
+ private:
+  std::vector<Collection<Summary>> collections_;
+};
+
+/// A summary with a real-valued weight — the shape partition and merge
+/// policies consume. Policies see weights only up to scale (requirement
+/// R3), so handing them raw quanta counts is sound.
+template <typename Summary>
+struct WeightedSummary {
+  Summary summary;
+  double weight;
+};
+
+}  // namespace ddc::core

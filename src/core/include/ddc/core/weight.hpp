@@ -1,0 +1,97 @@
+// Quantized collection weights.
+//
+// The paper quantizes weights to multiples of a system parameter q to rule
+// out Zeno-style executions in which a finite weight takes infinitely many
+// infinitesimal transfers to move (Section 4.1). We take that one step
+// further and *represent* weights as integer counts of quanta. With
+// integers, system-wide conservation of weight — the invariant the whole
+// convergence proof leans on — holds exactly, not merely up to floating
+// point rounding, and the test suite audits it after every event.
+//
+// The paper's q is `1 / quanta_per_unit`: a node's initial weight of 1 is
+// `quanta_per_unit` quanta. The assumption q ≪ 1/n translates to
+// `quanta_per_unit ≫ n`.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::core {
+
+/// A non-negative weight stored as an integer number of quanta.
+class Weight {
+ public:
+  /// Zero weight.
+  constexpr Weight() = default;
+
+  /// Weight of `quanta` quanta. Requires quanta ≥ 0.
+  [[nodiscard]] static constexpr Weight from_quanta(std::int64_t quanta) {
+    DDC_EXPECTS(quanta >= 0);
+    return Weight(quanta);
+  }
+
+  /// One whole input value under the given resolution.
+  [[nodiscard]] static constexpr Weight one(std::int64_t quanta_per_unit) {
+    DDC_EXPECTS(quanta_per_unit > 0);
+    return Weight(quanta_per_unit);
+  }
+
+  [[nodiscard]] constexpr std::int64_t quanta() const noexcept { return quanta_; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return quanta_ == 0; }
+  [[nodiscard]] constexpr bool positive() const noexcept { return quanta_ > 0; }
+
+  /// True iff this weight is exactly one quantum — the paper's "weight q"
+  /// collections, which partition() must always merge with another
+  /// collection (constraint (2) of Section 4.1).
+  [[nodiscard]] constexpr bool is_single_quantum() const noexcept {
+    return quanta_ == 1;
+  }
+
+  /// The paper's half(α): the multiple of q closest to α/2. For an odd
+  /// number of quanta the two candidates are equally close; we
+  /// deterministically round up, so the *kept* half is the larger one and
+  /// a 1-quantum collection keeps everything (its send-half is zero and is
+  /// simply not sent).
+  [[nodiscard]] constexpr Weight half() const noexcept {
+    return Weight((quanta_ + 1) / 2);
+  }
+
+  /// The complement of half(): weight − half(). Together they restore the
+  /// original weight exactly, which is what makes conservation exact.
+  [[nodiscard]] constexpr Weight remainder_after_half() const noexcept {
+    return Weight(quanta_ / 2);
+  }
+
+  /// Real-valued weight under resolution `quanta_per_unit`.
+  [[nodiscard]] constexpr double value(std::int64_t quanta_per_unit) const {
+    DDC_EXPECTS(quanta_per_unit > 0);
+    return static_cast<double>(quanta_) / static_cast<double>(quanta_per_unit);
+  }
+
+  constexpr Weight& operator+=(Weight rhs) noexcept {
+    quanta_ += rhs.quanta_;
+    return *this;
+  }
+
+  /// Subtraction. Requires rhs ≤ *this (weights cannot go negative).
+  constexpr Weight& operator-=(Weight rhs) {
+    DDC_EXPECTS(rhs.quanta_ <= quanta_);
+    quanta_ -= rhs.quanta_;
+    return *this;
+  }
+
+  friend constexpr Weight operator+(Weight a, Weight b) noexcept { return a += b; }
+  friend constexpr Weight operator-(Weight a, Weight b) { return a -= b; }
+  friend constexpr auto operator<=>(Weight, Weight) = default;
+
+ private:
+  explicit constexpr Weight(std::int64_t quanta) : quanta_(quanta) {}
+  std::int64_t quanta_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Weight w);
+
+}  // namespace ddc::core

@@ -1,0 +1,21 @@
+#include <ddc/core/policy.hpp>
+
+#include <algorithm>
+
+namespace ddc::core {
+
+bool is_valid_grouping(const Grouping& grouping, std::size_t size) {
+  std::vector<bool> seen(size, false);
+  std::size_t covered = 0;
+  for (const auto& group : grouping) {
+    if (group.empty()) return false;
+    for (const std::size_t j : group) {
+      if (j >= size || seen[j]) return false;
+      seen[j] = true;
+      ++covered;
+    }
+  }
+  return covered == size;
+}
+
+}  // namespace ddc::core

@@ -1,0 +1,11 @@
+#include <ddc/core/weight.hpp>
+
+#include <ostream>
+
+namespace ddc::core {
+
+std::ostream& operator<<(std::ostream& os, Weight w) {
+  return os << w.quanta() << 'q';
+}
+
+}  // namespace ddc::core

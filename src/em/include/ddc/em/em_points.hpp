@@ -1,0 +1,69 @@
+// Batch Expectation Maximization for Gaussian mixtures over (weighted)
+// point samples — the centralized machine-learning reference (Dempster,
+// Laird & Rubin [5]) that the paper's distributed GM algorithm is measured
+// against in tests and the Fig. 2 bench.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include <ddc/stats/descriptive.hpp>
+#include <ddc/stats/mixture.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::em {
+
+/// Options for batch EM over points.
+struct EmOptions {
+  std::size_t max_iterations = 200;
+  /// Stop when the average log-likelihood improves by less than this.
+  double tol = 1e-8;
+  /// Covariance eigenvalue floor, to keep components from collapsing onto
+  /// single points.
+  double cov_floor = 1e-6;
+};
+
+/// Result of a batch EM fit.
+struct EmResult {
+  stats::GaussianMixture mixture;
+  /// Weight-averaged log-likelihood of the sample under `mixture`.
+  double avg_log_likelihood = 0.0;
+  std::size_t iterations = 0;
+};
+
+/// Fits a k-component Gaussian mixture to the weighted sample with EM,
+/// seeded by k-means++. Requires a nonempty sample and 1 ≤ k.
+[[nodiscard]] EmResult fit_gmm(const std::vector<stats::WeightedValue>& sample,
+                               std::size_t k, stats::Rng& rng,
+                               const EmOptions& options = {});
+
+/// One EM step (E + M) from the given model; exposed for tests that check
+/// the monotone-likelihood property. Returns the updated model and the
+/// average log-likelihood of the *input* model on the sample.
+[[nodiscard]] std::pair<stats::GaussianMixture, double> em_step(
+    const std::vector<stats::WeightedValue>& sample,
+    const stats::GaussianMixture& model, double cov_floor);
+
+/// Result of BIC-based model selection over k.
+struct SelectKResult {
+  /// The k with the lowest BIC.
+  std::size_t best_k = 1;
+  /// bic[k−1] is the BIC of the best k-component fit, k = 1..k_max.
+  std::vector<double> bic;
+  /// The winning fitted mixture.
+  stats::GaussianMixture mixture;
+};
+
+/// Chooses the component count by the Bayesian Information Criterion:
+/// fits k = 1..k_max with EM and scores each with
+/// BIC(k) = −2·logLik + params(k)·ln(total weight), where params(k) counts
+/// the free parameters of a k-component d-dimensional GMM. The practical
+/// answer to "what should I set the protocol's k to?" — run this on a
+/// local sample (plus slack; see the abl_k_sweep bench for why slack
+/// matters).
+[[nodiscard]] SelectKResult select_k(const std::vector<stats::WeightedValue>& sample,
+                                     std::size_t k_max, stats::Rng& rng,
+                                     const EmOptions& options = {});
+
+}  // namespace ddc::em

@@ -1,0 +1,56 @@
+// Weighted k-means (Lloyd's algorithm with k-means++ seeding).
+//
+// MacQueen's k-means [15] is the classical centralized counterpart of the
+// paper's centroids instantiation. We use it (a) as the reference
+// classifier the distributed result is compared against in tests and the
+// Fig. 1 bench, and (b) to seed EM.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/descriptive.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::em {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster centroids (≤ k; empty clusters are dropped).
+  std::vector<linalg::Vector> centers;
+  /// assignment[i] = index into `centers` for sample i.
+  std::vector<std::size_t> assignment;
+  /// Weighted sum of squared distances to assigned centers.
+  double inertia = 0.0;
+  /// Lloyd iterations executed.
+  std::size_t iterations = 0;
+};
+
+/// Options for k-means.
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  /// Stop when no assignment changes (always checked) or the inertia
+  /// improvement falls below this.
+  double tol = 1e-10;
+};
+
+/// k-means++ seeding over a weighted sample: returns k distinct-ish seed
+/// points, chosen with probability proportional to weight × squared
+/// distance from the nearest already-chosen seed. Requires a nonempty
+/// sample and k ≥ 1.
+[[nodiscard]] std::vector<linalg::Vector> kmeans_plus_plus_seeds(
+    const std::vector<stats::WeightedValue>& sample, std::size_t k,
+    stats::Rng& rng);
+
+/// Weighted Lloyd's algorithm starting from the given seeds.
+[[nodiscard]] KMeansResult lloyd(const std::vector<stats::WeightedValue>& sample,
+                                 std::vector<linalg::Vector> seeds,
+                                 const KMeansOptions& options = {});
+
+/// k-means++ seeding followed by Lloyd's algorithm.
+[[nodiscard]] KMeansResult kmeans(const std::vector<stats::WeightedValue>& sample,
+                                  std::size_t k, stats::Rng& rng,
+                                  const KMeansOptions& options = {});
+
+}  // namespace ddc::em

@@ -1,0 +1,135 @@
+#include <ddc/em/em_points.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/em/kmeans.hpp>
+#include <ddc/linalg/eigen_sym.hpp>
+
+namespace ddc::em {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using stats::GaussianMixture;
+using stats::WeightedGaussian;
+using stats::WeightedValue;
+
+std::pair<GaussianMixture, double> em_step(
+    const std::vector<WeightedValue>& sample, const GaussianMixture& model,
+    double cov_floor) {
+  DDC_EXPECTS(!sample.empty());
+  DDC_EXPECTS(!model.empty());
+  const std::size_t k = model.size();
+  const std::size_t d = model.dim();
+
+  // E step: responsibilities, accumulating the data log-likelihood of the
+  // current model on the way.
+  const double total_weight = stats::total_weight(sample);
+  double log_likelihood = 0.0;
+  std::vector<double> resp_mass(k, 0.0);             // Σᵢ αᵢ rᵢⱼ
+  std::vector<Vector> resp_mean(k, Vector(d));       // Σᵢ αᵢ rᵢⱼ vᵢ
+  std::vector<std::vector<double>> resp(sample.size());
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    resp[i] = model.responsibilities(sample[i].value);
+    log_likelihood += sample[i].weight * model.log_pdf(sample[i].value);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double m = sample[i].weight * resp[i][j];
+      resp_mass[j] += m;
+      resp_mean[j] += m * sample[i].value;
+    }
+  }
+
+  // M step.
+  std::vector<WeightedGaussian> components;
+  components.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    if (resp_mass[j] <= 0.0) continue;  // dead component: drop it
+    const Vector mu = resp_mean[j] / resp_mass[j];
+    Matrix cov(d, d);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      const double m = sample[i].weight * resp[i][j];
+      if (m == 0.0) continue;
+      const Vector delta = sample[i].value - mu;
+      cov += (m / resp_mass[j]) * linalg::outer(delta, delta);
+    }
+    cov = linalg::clip_eigenvalues(linalg::symmetrize(cov), cov_floor);
+    components.push_back({resp_mass[j] / total_weight, Gaussian(mu, cov)});
+  }
+  DDC_ENSURES(!components.empty());
+  return {GaussianMixture(std::move(components)),
+          log_likelihood / total_weight};
+}
+
+EmResult fit_gmm(const std::vector<WeightedValue>& sample, std::size_t k,
+                 stats::Rng& rng, const EmOptions& options) {
+  DDC_EXPECTS(!sample.empty());
+  DDC_EXPECTS(k >= 1);
+
+  // Seed with k-means++ centroids and per-cluster moments.
+  const KMeansResult km = kmeans(sample, k, rng);
+  std::vector<WeightedGaussian> components;
+  for (std::size_t c = 0; c < km.centers.size(); ++c) {
+    std::vector<WeightedValue> members;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      if (km.assignment[i] == c) members.push_back(sample[i]);
+    }
+    if (members.empty()) continue;
+    const Vector mu = stats::weighted_mean(members);
+    Matrix cov = stats::weighted_covariance(members);
+    cov = linalg::clip_eigenvalues(cov, options.cov_floor);
+    components.push_back({stats::total_weight(members), Gaussian(mu, cov)});
+  }
+  DDC_ASSERT(!components.empty());
+  GaussianMixture model(std::move(components));
+
+  EmResult result;
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    auto [next, ll] = em_step(sample, model, options.cov_floor);
+    result.iterations = iter + 1;
+    model = std::move(next);
+    if (std::isfinite(prev_ll) && ll - prev_ll < options.tol) {
+      result.avg_log_likelihood = ll;
+      break;
+    }
+    prev_ll = ll;
+    result.avg_log_likelihood = ll;
+  }
+  result.mixture = std::move(model);
+  return result;
+}
+
+SelectKResult select_k(const std::vector<WeightedValue>& sample,
+                       std::size_t k_max, stats::Rng& rng,
+                       const EmOptions& options) {
+  DDC_EXPECTS(!sample.empty());
+  DDC_EXPECTS(k_max >= 1);
+  const double total = stats::total_weight(sample);
+  const double d = static_cast<double>(sample.front().value.dim());
+  // Free parameters of a k-component GMM in d dimensions: k means (d
+  // each), k covariances (d(d+1)/2 each), k−1 independent weights.
+  const auto params = [d](std::size_t k) {
+    return static_cast<double>(k) * (d + d * (d + 1.0) / 2.0) +
+           (static_cast<double>(k) - 1.0);
+  };
+
+  SelectKResult result;
+  double best_bic = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 1; k <= k_max; ++k) {
+    EmResult fit = fit_gmm(sample, k, rng, options);
+    const double log_lik = fit.avg_log_likelihood * total;
+    const double bic = -2.0 * log_lik + params(k) * std::log(total);
+    result.bic.push_back(bic);
+    if (bic < best_bic) {
+      best_bic = bic;
+      result.best_k = k;
+      result.mixture = std::move(fit.mixture);
+    }
+  }
+  return result;
+}
+
+}  // namespace ddc::em

@@ -1,0 +1,135 @@
+#include <ddc/em/kmeans.hpp>
+
+#include <algorithm>
+#include <limits>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::em {
+
+using linalg::Vector;
+using stats::WeightedValue;
+
+namespace {
+
+double squared_distance(const Vector& a, const Vector& b) {
+  const double d = linalg::distance2(a, b);
+  return d * d;
+}
+
+std::size_t nearest_center(const Vector& x, const std::vector<Vector>& centers,
+                           double* out_d2 = nullptr) {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    const double d2 = squared_distance(x, centers[c]);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  if (out_d2 != nullptr) *out_d2 = best_d2;
+  return best;
+}
+
+}  // namespace
+
+std::vector<Vector> kmeans_plus_plus_seeds(
+    const std::vector<WeightedValue>& sample, std::size_t k, stats::Rng& rng) {
+  DDC_EXPECTS(!sample.empty());
+  DDC_EXPECTS(k >= 1);
+
+  std::vector<Vector> seeds;
+  seeds.reserve(k);
+
+  // First seed: weight-proportional draw.
+  {
+    std::vector<double> weights;
+    weights.reserve(sample.size());
+    for (const auto& wv : sample) weights.push_back(wv.weight);
+    seeds.push_back(sample[rng.discrete(weights)].value);
+  }
+
+  std::vector<double> d2(sample.size());
+  while (seeds.size() < std::min(k, sample.size())) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      double dist2 = 0.0;
+      nearest_center(sample[i].value, seeds, &dist2);
+      d2[i] = sample[i].weight * dist2;
+      total += d2[i];
+    }
+    if (total <= 0.0) break;  // all remaining mass sits on chosen seeds
+    seeds.push_back(sample[rng.discrete(d2)].value);
+  }
+  return seeds;
+}
+
+KMeansResult lloyd(const std::vector<WeightedValue>& sample,
+                   std::vector<Vector> seeds, const KMeansOptions& options) {
+  DDC_EXPECTS(!sample.empty());
+  DDC_EXPECTS(!seeds.empty());
+  const std::size_t dim = sample.front().value.dim();
+  for (const auto& s : seeds) DDC_EXPECTS(s.dim() == dim);
+
+  KMeansResult result;
+  result.centers = std::move(seeds);
+  result.assignment.assign(sample.size(), 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      double dist2 = 0.0;
+      const std::size_t c = nearest_center(sample[i].value, result.centers, &dist2);
+      if (c != result.assignment[i]) {
+        result.assignment[i] = c;
+        changed = true;
+      }
+      inertia += sample[i].weight * dist2;
+    }
+    result.inertia = inertia;
+    if (!changed && iter > 0) break;
+
+    // Update step: weighted centroid of each cluster; empty clusters keep
+    // their previous center (and are compacted away at the end).
+    std::vector<Vector> sums(result.centers.size(), Vector(dim));
+    std::vector<double> mass(result.centers.size(), 0.0);
+    for (std::size_t i = 0; i < sample.size(); ++i) {
+      sums[result.assignment[i]] += sample[i].weight * sample[i].value;
+      mass[result.assignment[i]] += sample[i].weight;
+    }
+    for (std::size_t c = 0; c < result.centers.size(); ++c) {
+      if (mass[c] > 0.0) result.centers[c] = sums[c] / mass[c];
+    }
+
+    if (prev_inertia - inertia < options.tol && iter > 0) break;
+    prev_inertia = inertia;
+  }
+
+  // Compact away empty clusters so `centers` reflects the actual model.
+  std::vector<bool> used(result.centers.size(), false);
+  for (const std::size_t a : result.assignment) used[a] = true;
+  std::vector<std::size_t> remap(result.centers.size(), 0);
+  std::vector<Vector> compact;
+  for (std::size_t c = 0; c < result.centers.size(); ++c) {
+    if (used[c]) {
+      remap[c] = compact.size();
+      compact.push_back(result.centers[c]);
+    }
+  }
+  for (std::size_t& a : result.assignment) a = remap[a];
+  result.centers = std::move(compact);
+  return result;
+}
+
+KMeansResult kmeans(const std::vector<WeightedValue>& sample, std::size_t k,
+                    stats::Rng& rng, const KMeansOptions& options) {
+  return lloyd(sample, kmeans_plus_plus_seeds(sample, k, rng), options);
+}
+
+}  // namespace ddc::em

@@ -1,0 +1,61 @@
+// ASCII rendering of 2-D point sets and Gaussian equidensity ellipses.
+//
+// The paper's Figure 2 is inherently visual: generated values (2b) and the
+// estimated mixture's equidensity contours plus singleton x's (2c). This
+// canvas reproduces those panels in a terminal, which is all a headless
+// reproduction has.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/gaussian.hpp>
+
+namespace ddc::io {
+
+/// A character raster over a fixed world-coordinate window.
+class AsciiCanvas {
+ public:
+  /// Canvas of `cols × rows` characters covering the world rectangle
+  /// [x_lo, x_hi] × [y_lo, y_hi] (y grows upward). Requires nonempty
+  /// ranges and ≥ 2 cells per axis.
+  AsciiCanvas(double x_lo, double x_hi, double y_lo, double y_hi,
+              std::size_t cols = 72, std::size_t rows = 24);
+
+  /// Convenience: a window padded around the bounding box of `points`
+  /// (5 % margin). Requires at least one 2-D point.
+  [[nodiscard]] static AsciiCanvas fit(const std::vector<linalg::Vector>& points,
+                                       std::size_t cols = 72,
+                                       std::size_t rows = 24);
+
+  /// Plots one world point (clipped if outside the window).
+  void plot(double x, double y, char mark);
+
+  /// Plots every point of a 2-D point set.
+  void plot_points(const std::vector<linalg::Vector>& points, char mark = '.');
+
+  /// Draws the `n_sigma` equidensity contour of a 2-D Gaussian — the
+  /// ellipse µ + n·(√λ₁ cosθ·v₁ + √λ₂ sinθ·v₂) — exactly what the paper's
+  /// figures draw. Degenerate (zero-covariance) Gaussians plot as a
+  /// single mark (the paper's singleton x's).
+  void draw_gaussian(const stats::Gaussian& gaussian, double n_sigma = 2.0,
+                     char mark = 'o');
+
+  /// Writes the raster with a simple world-coordinate frame.
+  void render(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+  /// Character at raster cell (col, row) — row 0 is the TOP line.
+  [[nodiscard]] char at(std::size_t col, std::size_t row) const;
+
+ private:
+  double x_lo_, x_hi_, y_lo_, y_hi_;
+  std::size_t cols_, rows_;
+  std::vector<std::string> grid_;  // grid_[row][col], row 0 = top
+};
+
+}  // namespace ddc::io

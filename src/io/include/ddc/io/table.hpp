@@ -1,0 +1,40 @@
+// Column-aligned table / CSV emitters used by the benchmark harness to
+// print the rows and series of the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ddc::io {
+
+/// A cell: text, integer, or real (printed with fixed precision).
+using Cell = std::variant<std::string, long long, double>;
+
+/// A simple table with a header row. Rows must match the header width.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header, int precision = 4);
+
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row. Requires cells.size() == columns().
+  void add_row(std::vector<Cell> cells);
+
+  /// Writes a column-aligned rendering with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (quotes only when needed).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string render(const Cell& cell) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace ddc::io

@@ -1,0 +1,107 @@
+#include <ddc/io/ascii_canvas.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <ostream>
+#include <sstream>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/linalg/eigen_sym.hpp>
+
+namespace ddc::io {
+
+AsciiCanvas::AsciiCanvas(double x_lo, double x_hi, double y_lo, double y_hi,
+                         std::size_t cols, std::size_t rows)
+    : x_lo_(x_lo), x_hi_(x_hi), y_lo_(y_lo), y_hi_(y_hi), cols_(cols),
+      rows_(rows), grid_(rows, std::string(cols, ' ')) {
+  DDC_EXPECTS(x_lo < x_hi && y_lo < y_hi);
+  DDC_EXPECTS(cols >= 2 && rows >= 2);
+}
+
+AsciiCanvas AsciiCanvas::fit(const std::vector<linalg::Vector>& points,
+                             std::size_t cols, std::size_t rows) {
+  DDC_EXPECTS(!points.empty());
+  double x_lo = points.front()[0];
+  double x_hi = x_lo;
+  double y_lo = points.front()[1];
+  double y_hi = y_lo;
+  for (const auto& p : points) {
+    DDC_EXPECTS(p.dim() == 2);
+    x_lo = std::min(x_lo, p[0]);
+    x_hi = std::max(x_hi, p[0]);
+    y_lo = std::min(y_lo, p[1]);
+    y_hi = std::max(y_hi, p[1]);
+  }
+  const double x_pad = std::max(1e-6, 0.05 * (x_hi - x_lo));
+  const double y_pad = std::max(1e-6, 0.05 * (y_hi - y_lo));
+  return AsciiCanvas(x_lo - x_pad, x_hi + x_pad, y_lo - y_pad, y_hi + y_pad,
+                     cols, rows);
+}
+
+void AsciiCanvas::plot(double x, double y, char mark) {
+  if (x < x_lo_ || x > x_hi_ || y < y_lo_ || y > y_hi_) return;
+  const double fx = (x - x_lo_) / (x_hi_ - x_lo_);
+  const double fy = (y - y_lo_) / (y_hi_ - y_lo_);
+  const auto col = std::min(
+      cols_ - 1, static_cast<std::size_t>(fx * static_cast<double>(cols_)));
+  const auto row_from_bottom = std::min(
+      rows_ - 1, static_cast<std::size_t>(fy * static_cast<double>(rows_)));
+  grid_[rows_ - 1 - row_from_bottom][col] = mark;
+}
+
+void AsciiCanvas::plot_points(const std::vector<linalg::Vector>& points,
+                              char mark) {
+  for (const auto& p : points) {
+    DDC_EXPECTS(p.dim() == 2);
+    plot(p[0], p[1], mark);
+  }
+}
+
+void AsciiCanvas::draw_gaussian(const stats::Gaussian& gaussian,
+                                double n_sigma, char mark) {
+  DDC_EXPECTS(gaussian.dim() == 2);
+  DDC_EXPECTS(n_sigma > 0.0);
+  const linalg::SymEigen eig = linalg::eigen_sym(gaussian.cov());
+  const double a = std::sqrt(std::max(eig.values[0], 0.0)) * n_sigma;
+  const double b = std::sqrt(std::max(eig.values[1], 0.0)) * n_sigma;
+  if (a <= 0.0 && b <= 0.0) {
+    // The paper's singleton collections render as x's.
+    plot(gaussian.mean()[0], gaussian.mean()[1], 'x');
+    return;
+  }
+  const linalg::Vector v1 = eig.vectors.col(0);
+  const linalg::Vector v2 = eig.vectors.col(1);
+  const int steps = static_cast<int>(4 * (cols_ + rows_));
+  for (int s = 0; s < steps; ++s) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(s) / steps;
+    const double ca = a * std::cos(theta);
+    const double sb = b * std::sin(theta);
+    plot(gaussian.mean()[0] + ca * v1[0] + sb * v2[0],
+         gaussian.mean()[1] + ca * v1[1] + sb * v2[1], mark);
+  }
+}
+
+char AsciiCanvas::at(std::size_t col, std::size_t row) const {
+  DDC_EXPECTS(col < cols_ && row < rows_);
+  return grid_[row][col];
+}
+
+void AsciiCanvas::render(std::ostream& os) const {
+  const auto label = [](double v) {
+    std::ostringstream s;
+    s.precision(3);
+    s << v;
+    return s.str();
+  };
+  os << '+' << std::string(cols_, '-') << "+  y=" << label(y_hi_) << '\n';
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << '|' << grid_[r] << "|\n";
+  }
+  os << '+' << std::string(cols_, '-') << "+  y=" << label(y_lo_) << '\n'
+     << " x=" << label(x_lo_) << std::string(cols_ > 24 ? cols_ - 18 : 1, ' ')
+     << "x=" << label(x_hi_) << '\n';
+}
+
+}  // namespace ddc::io

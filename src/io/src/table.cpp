@@ -1,0 +1,85 @@
+#include <ddc/io/table.hpp>
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::io {
+
+Table::Table(std::vector<std::string> header, int precision)
+    : header_(std::move(header)), precision_(precision) {
+  DDC_EXPECTS(!header_.empty());
+  DDC_EXPECTS(precision_ >= 0);
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  DDC_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render(const Cell& cell) const {
+  if (const auto* s = std::get_if<std::string>(&cell)) return *s;
+  if (const auto* i = std::get_if<long long>(&cell)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(cell);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(render(row[c]));
+      width[c] = std::max(width[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::setw(static_cast<int>(width[c]))
+         << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rendered) print_row(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (c == 0 ? "" : ",") << escape(header_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << escape(render(row[c]));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace ddc::io

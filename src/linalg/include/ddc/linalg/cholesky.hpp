@@ -1,0 +1,72 @@
+// Cholesky (LLᵀ) factorization of symmetric positive-definite matrices.
+//
+// Everything the Gaussian summary needs — densities, log-determinants,
+// Mahalanobis distances, multivariate-normal sampling — reduces to one
+// Cholesky factorization plus triangular solves.
+#pragma once
+
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::linalg {
+
+/// Cholesky factorization `A = L Lᵀ` with `L` lower-triangular.
+///
+/// Construction throws ddc::NumericalError if `A` is not (numerically)
+/// positive definite. Callers that must cope with degenerate covariance
+/// matrices (e.g. a collection holding a single value has Σ = 0) should
+/// regularize first — see `regularized_cholesky`.
+class Cholesky {
+ public:
+  /// Factorizes the symmetric positive-definite matrix `a`.
+  /// Only the lower triangle of `a` is read.
+  explicit Cholesky(const Matrix& a);
+
+  /// Order of the factorized matrix.
+  [[nodiscard]] std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// The lower-triangular factor L.
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+
+  /// Solves `A x = b`. Requires `b.dim() == dim()`.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// Solves `A X = B` column-by-column. Requires `B.rows() == dim()`.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  /// Solves `L y = b` (forward substitution).
+  [[nodiscard]] Vector solve_lower(const Vector& b) const;
+
+  /// The inverse `A⁻¹` (symmetric).
+  [[nodiscard]] Matrix inverse() const;
+
+  /// `log det A = 2 Σ log L(i,i)`; numerically robust even when `det A`
+  /// would underflow, which matters for sharp Gaussian summaries.
+  [[nodiscard]] double log_det() const noexcept;
+
+  /// `det A` (may under/overflow; prefer log_det()).
+  [[nodiscard]] double det() const noexcept;
+
+  /// Squared Mahalanobis distance `xᵀ A⁻¹ x`.
+  [[nodiscard]] double mahalanobis_squared(const Vector& x) const;
+
+ private:
+  Matrix l_;
+};
+
+/// Cholesky of `A + εI` where `ε ≥ min_jitter` is grown geometrically until
+/// the factorization succeeds (up to `max_jitter`). Handles the degenerate
+/// covariances that legitimately occur in the protocol: a fresh collection
+/// summarizing one input value has an exactly-zero covariance matrix.
+/// Throws ddc::NumericalError if even `A + max_jitter·I` fails.
+[[nodiscard]] Cholesky regularized_cholesky(const Matrix& a,
+                                            double min_jitter = 1e-9,
+                                            double max_jitter = 1e3);
+
+/// Convenience: inverse of an SPD matrix via Cholesky.
+[[nodiscard]] Matrix spd_inverse(const Matrix& a);
+
+/// Convenience: determinant of an SPD matrix via Cholesky.
+[[nodiscard]] double spd_det(const Matrix& a);
+
+}  // namespace ddc::linalg

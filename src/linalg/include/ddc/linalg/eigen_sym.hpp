@@ -1,0 +1,32 @@
+// Symmetric eigendecomposition (cyclic Jacobi).
+//
+// Used to (a) report equidensity ellipses of Gaussian summaries the way the
+// paper's figures draw them, and (b) repair covariance matrices whose
+// smallest eigenvalue drifted slightly negative through merging arithmetic.
+#pragma once
+
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::linalg {
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+/// Eigenvalues are sorted in descending order; `vectors.col(i)` is the
+/// (unit) eigenvector for `values[i]`.
+struct SymEigen {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Eigendecomposition of the symmetric matrix `a` via the cyclic Jacobi
+/// method. Converges quadratically for the small matrices used here.
+/// Throws ddc::NumericalError if `max_sweeps` is exhausted before the
+/// off-diagonal mass drops below tolerance.
+[[nodiscard]] SymEigen eigen_sym(const Matrix& a, int max_sweeps = 64);
+
+/// Projects `a` onto the cone of symmetric matrices with eigenvalues
+/// ≥ `min_eigenvalue` (clipping negative/small eigenvalues). The standard
+/// "nearest SPD" repair for covariance matrices.
+[[nodiscard]] Matrix clip_eigenvalues(const Matrix& a, double min_eigenvalue);
+
+}  // namespace ddc::linalg

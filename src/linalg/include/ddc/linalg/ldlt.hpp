@@ -1,0 +1,56 @@
+// LDLᵀ factorization of symmetric (possibly semi-definite) matrices.
+//
+// The Gaussian summary occasionally has to work with covariance matrices
+// that are positive *semi*-definite — e.g. a collection whose values all
+// lie on a line.  LDLᵀ with a zero-pivot tolerance lets us compute rank,
+// pseudo-solves, and log-pseudo-determinants without jitter.
+#pragma once
+
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::linalg {
+
+/// LDLᵀ factorization `A = L D Lᵀ` with unit-lower-triangular `L` and
+/// diagonal `D` (no pivoting; intended for diagonally-dominant covariance
+/// matrices). Pivots with `|d| ≤ zero_tol · scale` are treated as zero.
+class Ldlt {
+ public:
+  /// Factorizes the symmetric matrix `a`.
+  /// Throws ddc::NumericalError if a pivot is significantly negative
+  /// (matrix is indefinite beyond `zero_tol`).
+  explicit Ldlt(const Matrix& a, double zero_tol = 1e-12);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return l_.rows(); }
+
+  /// The unit-lower-triangular factor L.
+  [[nodiscard]] const Matrix& lower() const noexcept { return l_; }
+
+  /// The diagonal D as a vector (entries may be exactly 0 for a
+  /// semi-definite input).
+  [[nodiscard]] const Vector& diag() const noexcept { return d_; }
+
+  /// Number of nonzero pivots.
+  [[nodiscard]] std::size_t rank() const noexcept { return rank_; }
+
+  /// True iff every pivot is strictly positive.
+  [[nodiscard]] bool positive_definite() const noexcept {
+    return rank_ == dim();
+  }
+
+  /// Solves `A x = b`; zero pivots are treated as "no constraint" (the
+  /// corresponding solution component is set to 0), which yields the
+  /// minimum-norm-ish solution adequate for density evaluation on the
+  /// support of a degenerate Gaussian.
+  [[nodiscard]] Vector solve(const Vector& b) const;
+
+  /// `log det A` over nonzero pivots (log-pseudo-determinant).
+  [[nodiscard]] double log_pseudo_det() const noexcept;
+
+ private:
+  Matrix l_;
+  Vector d_;
+  std::size_t rank_ = 0;
+};
+
+}  // namespace ddc::linalg

@@ -1,0 +1,116 @@
+// Dense dynamic-size real vector.
+//
+// The Gaussian-Mixture instantiation of the paper works in R^d for small d
+// (the evaluation uses d = 2), and the auxiliary mixture-space vectors of
+// Section 4.2 live in R^n.  A simple contiguous double vector with value
+// semantics covers both uses; all operations are bounds-checked through
+// contracts.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::linalg {
+
+/// Dense real vector with value semantics.
+///
+/// Regular type: default-constructible (empty), copyable, movable,
+/// equality-comparable.  Arithmetic operations require equal dimensions and
+/// enforce that with preconditions.
+class Vector {
+ public:
+  /// Empty (dimension-0) vector.
+  Vector() = default;
+
+  /// Zero vector of dimension `dim`.
+  explicit Vector(std::size_t dim) : elems_(dim, 0.0) {}
+
+  /// Vector of dimension `dim` with every component equal to `fill`.
+  Vector(std::size_t dim, double fill) : elems_(dim, fill) {}
+
+  /// Vector from an explicit component list, e.g. `Vector{1.0, 2.0}`.
+  Vector(std::initializer_list<double> init) : elems_(init) {}
+
+  /// Vector adopting the contents of `elems`.
+  explicit Vector(std::vector<double> elems) : elems_(std::move(elems)) {}
+
+  /// Number of components.
+  [[nodiscard]] std::size_t dim() const noexcept { return elems_.size(); }
+
+  /// True iff the vector has no components.
+  [[nodiscard]] bool empty() const noexcept { return elems_.empty(); }
+
+  /// Component access (checked).
+  [[nodiscard]] double& operator[](std::size_t i) {
+    DDC_EXPECTS(i < elems_.size());
+    return elems_[i];
+  }
+  [[nodiscard]] double operator[](std::size_t i) const {
+    DDC_EXPECTS(i < elems_.size());
+    return elems_[i];
+  }
+
+  /// Raw storage access for interoperation with algorithms.
+  [[nodiscard]] const std::vector<double>& data() const noexcept { return elems_; }
+  [[nodiscard]] std::vector<double>& data() noexcept { return elems_; }
+
+  // Iteration (enables range-for and <algorithm> use).
+  [[nodiscard]] auto begin() noexcept { return elems_.begin(); }
+  [[nodiscard]] auto end() noexcept { return elems_.end(); }
+  [[nodiscard]] auto begin() const noexcept { return elems_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return elems_.end(); }
+
+  // In-place arithmetic.  All binary forms require matching dimensions.
+  Vector& operator+=(const Vector& rhs);
+  Vector& operator-=(const Vector& rhs);
+  Vector& operator*=(double s) noexcept;
+  Vector& operator/=(double s);
+
+  friend bool operator==(const Vector&, const Vector&) = default;
+
+ private:
+  std::vector<double> elems_;
+};
+
+[[nodiscard]] Vector operator+(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator-(Vector lhs, const Vector& rhs);
+[[nodiscard]] Vector operator*(Vector v, double s);
+[[nodiscard]] Vector operator*(double s, Vector v);
+[[nodiscard]] Vector operator/(Vector v, double s);
+[[nodiscard]] Vector operator-(Vector v);
+
+/// Inner product. Requires `a.dim() == b.dim()`.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Euclidean (L2) norm.
+[[nodiscard]] double norm2(const Vector& v) noexcept;
+
+/// Manhattan (L1) norm — the collection weight of an auxiliary vector in
+/// the paper's mixture space is `‖aux‖₁` (Lemma 1, Eq. 2).
+[[nodiscard]] double norm1(const Vector& v) noexcept;
+
+/// Maximum absolute component.
+[[nodiscard]] double norm_inf(const Vector& v) noexcept;
+
+/// Euclidean distance `‖a − b‖₂`. Requires matching dimensions.
+[[nodiscard]] double distance2(const Vector& a, const Vector& b);
+
+/// Angle in radians between two nonzero vectors — the paper's mixture-space
+/// metric d_M (Section 4.2) and its reference angles ϕᵥᵢ (Section 6.1).
+/// Result is in [0, π]. Throws NumericalError on a zero vector.
+[[nodiscard]] double angle_between(const Vector& a, const Vector& b);
+
+/// `v / ‖v‖₂`. Throws NumericalError on a zero vector.
+[[nodiscard]] Vector normalized(const Vector& v);
+
+/// i'th standard basis vector e_i of dimension `dim` (the initial auxiliary
+/// vector of node i in Algorithm 1, line 2).
+[[nodiscard]] Vector unit_vector(std::size_t dim, std::size_t i);
+
+std::ostream& operator<<(std::ostream& os, const Vector& v);
+
+}  // namespace ddc::linalg

@@ -1,0 +1,108 @@
+#include <ddc/linalg/cholesky.hpp>
+
+#include <cmath>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::linalg {
+
+Cholesky::Cholesky(const Matrix& a) {
+  DDC_EXPECTS(a.square());
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) {
+      throw_numerical_error("Cholesky: matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve_lower(const Vector& b) const {
+  DDC_EXPECTS(b.dim() == dim());
+  const std::size_t n = dim();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  return y;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = dim();
+  Vector y = solve_lower(b);
+  // Back substitution with Lᵀ.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  DDC_EXPECTS(b.rows() == dim());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    const Vector xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+
+double Cholesky::log_det() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
+  return 2.0 * acc;
+}
+
+double Cholesky::det() const noexcept { return std::exp(log_det()); }
+
+double Cholesky::mahalanobis_squared(const Vector& x) const {
+  // xᵀ A⁻¹ x = ‖L⁻¹ x‖² — one forward substitution, no explicit inverse.
+  const Vector y = solve_lower(x);
+  return dot(y, y);
+}
+
+Cholesky regularized_cholesky(const Matrix& a, double min_jitter,
+                              double max_jitter) {
+  DDC_EXPECTS(a.square());
+  DDC_EXPECTS(min_jitter > 0.0 && min_jitter <= max_jitter);
+  // Fast path: the matrix may already be comfortably positive definite.
+  try {
+    return Cholesky(a);
+  } catch (const NumericalError&) {
+    // fall through to jittered attempts
+  }
+  for (double eps = min_jitter; eps <= max_jitter; eps *= 10.0) {
+    Matrix jittered = a;
+    for (std::size_t i = 0; i < a.rows(); ++i) jittered(i, i) += eps;
+    try {
+      return Cholesky(jittered);
+    } catch (const NumericalError&) {
+      // keep growing the jitter
+    }
+  }
+  throw_numerical_error(
+      "regularized_cholesky: matrix not positive definite even after "
+      "maximal jitter");
+}
+
+Matrix spd_inverse(const Matrix& a) { return Cholesky(a).inverse(); }
+
+double spd_det(const Matrix& a) { return Cholesky(a).det(); }
+
+}  // namespace ddc::linalg

@@ -1,0 +1,103 @@
+#include <ddc/linalg/eigen_sym.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::linalg {
+
+namespace {
+
+/// Sum of squares of the strictly-off-diagonal entries.
+double off_diagonal_mass(const Matrix& a) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) acc += a(i, j) * a(i, j);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+SymEigen eigen_sym(const Matrix& a, int max_sweeps) {
+  DDC_EXPECTS(a.square());
+  DDC_EXPECTS(is_symmetric(a, 1e-9));
+  const std::size_t n = a.rows();
+  Matrix d = symmetrize(a);
+  Matrix v = Matrix::identity(n);
+
+  const double scale = std::max(1.0, max_abs(d));
+  const double tol = 1e-30 * scale * scale * static_cast<double>(n * n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diagonal_mass(d) <= tol) break;
+    if (sweep == max_sweeps - 1) {
+      throw_numerical_error("eigen_sym: Jacobi sweeps did not converge");
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double theta = (d(q, q) - d(p, p)) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Apply Givens rotation G(p,q,θ) on both sides of D and accumulate
+        // into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d(x, x) > d(y, y); });
+
+  SymEigen out;
+  out.values = Vector(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.values[i] = d(order[i], order[i]);
+    for (std::size_t k = 0; k < n; ++k) out.vectors(k, i) = v(k, order[i]);
+  }
+  return out;
+}
+
+Matrix clip_eigenvalues(const Matrix& a, double min_eigenvalue) {
+  const SymEigen eig = eigen_sym(a);
+  Matrix out(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double lambda = std::max(eig.values[i], min_eigenvalue);
+    const Vector vi = eig.vectors.col(i);
+    out += lambda * outer(vi, vi);
+  }
+  return symmetrize(out);
+}
+
+}  // namespace ddc::linalg

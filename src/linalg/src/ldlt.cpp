@@ -1,0 +1,78 @@
+#include <ddc/linalg/ldlt.hpp>
+
+#include <cmath>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::linalg {
+
+Ldlt::Ldlt(const Matrix& a, double zero_tol) {
+  DDC_EXPECTS(a.square());
+  DDC_EXPECTS(zero_tol >= 0.0);
+  const std::size_t n = a.rows();
+  l_ = Matrix::identity(n);
+  d_ = Vector(n);
+  const double scale = std::max(1.0, max_abs(a));
+  for (std::size_t j = 0; j < n; ++j) {
+    double dj = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) dj -= l_(j, k) * l_(j, k) * d_[k];
+    if (dj < -zero_tol * scale) {
+      throw_numerical_error("Ldlt: matrix is indefinite (negative pivot)");
+    }
+    if (dj <= zero_tol * scale) {
+      d_[j] = 0.0;
+      // A zero pivot is only consistent with positive semi-definiteness if
+      // the remaining entries of this column (after elimination) vanish
+      // too; a nonzero entry there means the matrix is indefinite (e.g.
+      // [[0,1],[1,0]]), which no amount of pivot-free LDLᵀ can represent.
+      for (std::size_t i = j + 1; i < n; ++i) {
+        double acc = a(i, j);
+        for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k) * d_[k];
+        if (std::abs(acc) > zero_tol * scale) {
+          throw_numerical_error(
+              "Ldlt: zero pivot with nonzero column (matrix is indefinite)");
+        }
+      }
+      continue;
+    }
+    d_[j] = dj;
+    ++rank_;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k) * d_[k];
+      l_(i, j) = acc / dj;
+    }
+  }
+}
+
+Vector Ldlt::solve(const Vector& b) const {
+  DDC_EXPECTS(b.dim() == dim());
+  const std::size_t n = dim();
+  // Forward: L y = b.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc;
+  }
+  // Diagonal: D z = y, treating zero pivots as unconstrained.
+  for (std::size_t i = 0; i < n; ++i) y[i] = d_[i] > 0.0 ? y[i] / d_[i] : 0.0;
+  // Backward: Lᵀ x = z.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc;
+  }
+  return x;
+}
+
+double Ldlt::log_pseudo_det() const noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    if (d_[i] > 0.0) acc += std::log(d_[i]);
+  }
+  return acc;
+}
+
+}  // namespace ddc::linalg

@@ -1,0 +1,96 @@
+// Generic metrics over classifications — convergence/agreement measures
+// corresponding to the paper's Definition 3 (summary convergence via a
+// per-time mapping ψ plus relative-weight convergence).
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/core/collection.hpp>
+#include <ddc/core/policy.hpp>
+
+namespace ddc::metrics {
+
+/// Distance between two classifications under summary policy SP: a greedy
+/// weighted matching in the spirit of Definition 3. Collections of A and B
+/// are matched closest-first under SP::distance; the result is the
+/// relative-weight-weighted average of matched summary distances plus the
+/// total relative weight left unmatched (each unmatched unit of weight
+/// costs `unmatched_penalty`).
+///
+/// Zero iff the two classifications have identical summaries (up to dS=0)
+/// with identical relative weights; small when both nodes have converged
+/// to the same destination classification.
+template <core::SummaryPolicy SP>
+[[nodiscard]] double classification_distance(
+    const core::Classification<typename SP::Summary>& a,
+    const core::Classification<typename SP::Summary>& b,
+    double unmatched_penalty = 1.0) {
+  DDC_EXPECTS(!a.empty() && !b.empty());
+
+  // Remaining relative weights on each side.
+  std::vector<double> wa(a.size());
+  std::vector<double> wb(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) wa[i] = a.relative_weight(i);
+  for (std::size_t j = 0; j < b.size(); ++j) wb[j] = b.relative_weight(j);
+
+  // All cross pairs, closest first.
+  struct Pair {
+    double distance;
+    std::size_t i, j;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(a.size() * b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      pairs.push_back({SP::distance(a[i].summary, b[j].summary), i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.distance < y.distance; });
+
+  double cost = 0.0;
+  double matched = 0.0;
+  for (const auto& p : pairs) {
+    const double m = std::min(wa[p.i], wb[p.j]);
+    if (m <= 0.0) continue;
+    cost += m * p.distance;
+    wa[p.i] -= m;
+    wb[p.j] -= m;
+    matched += m;
+  }
+  // Each side has total relative weight 1; anything unmatched indicates a
+  // structural mismatch.
+  const double unmatched = std::max(0.0, 1.0 - matched);
+  return cost + unmatched * unmatched_penalty;
+}
+
+/// Maximum pairwise disagreement against a reference node (node 0) — an
+/// O(n) proxy for full pairwise agreement used as a convergence probe.
+template <core::SummaryPolicy SP, typename Node>
+[[nodiscard]] double max_disagreement_vs_first(const std::vector<Node>& nodes) {
+  DDC_EXPECTS(!nodes.empty());
+  double worst = 0.0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    worst = std::max(worst,
+                     classification_distance<SP>(nodes.front().classification(),
+                                                 nodes[i].classification()));
+  }
+  return worst;
+}
+
+/// Sum of weight quanta currently held by all nodes — the conservation
+/// audit (must equal n × quanta_per_unit in any crash-free execution with
+/// no in-flight messages).
+template <typename Node>
+[[nodiscard]] std::int64_t total_quanta(const std::vector<Node>& nodes) {
+  std::int64_t acc = 0;
+  for (const auto& node : nodes) {
+    acc += node.classification().total_weight().quanta();
+  }
+  return acc;
+}
+
+}  // namespace ddc::metrics

@@ -1,0 +1,37 @@
+// Metrics specific to Gaussian classifications (Figures 2–4).
+#pragma once
+
+#include <vector>
+
+#include <ddc/core/collection.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/gaussian.hpp>
+#include <ddc/stats/mixture.hpp>
+
+namespace ddc::metrics {
+
+/// Overall weighted mean of a Gaussian classification — the estimate
+/// "regular average aggregation" would produce (no outlier removal).
+[[nodiscard]] linalg::Vector overall_mean(
+    const core::Classification<stats::Gaussian>& classification);
+
+/// Mean of the heaviest collection — the robust estimate the paper's
+/// outlier-removal application reports (with k = 2 the heavier collection
+/// is the "good" one; the lighter holds the suspected outliers).
+[[nodiscard]] linalg::Vector heaviest_collection_mean(
+    const core::Classification<stats::Gaussian>& classification);
+
+/// Index of the heaviest collection.
+[[nodiscard]] std::size_t heaviest_collection_index(
+    const core::Classification<stats::Gaussian>& classification);
+
+/// Component-recovery error between an estimated mixture and the ground
+/// truth that generated the data (Fig. 2): each truth component is matched
+/// to the estimated component with the nearest mean; the result is the
+/// truth-weight-weighted average of (mean distance + covariance max-norm
+/// difference + |weight difference|). Lower is better; 0 is exact
+/// recovery.
+[[nodiscard]] double mixture_recovery_error(const stats::GaussianMixture& truth,
+                                            const stats::GaussianMixture& estimate);
+
+}  // namespace ddc::metrics

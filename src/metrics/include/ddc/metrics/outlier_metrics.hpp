@@ -1,0 +1,49 @@
+// Outlier-removal metrics for the Figure 3 / Figure 4 experiments.
+//
+// The paper defines outliers as values whose probability density under the
+// good (standard normal) distribution is below f_min = 5·10⁻⁵, and reports
+// (a) the share of outlier weight incorrectly assigned to the good
+// collection and (b) the error of the robust mean estimate. With auxiliary
+// mixture-vector tracking enabled, (a) is computed *exactly*: a
+// collection's aux vector says precisely how much of each input value's
+// weight it contains.
+#pragma once
+
+#include <vector>
+
+#include <ddc/core/collection.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/gaussian.hpp>
+
+namespace ddc::metrics {
+
+/// The paper's outlier-density threshold for the standard normal.
+inline constexpr double kPaperFmin = 5e-5;
+
+/// Flags each input as an outlier iff its density under `good` is below
+/// `fmin` (the paper's ground-truth rule).
+[[nodiscard]] std::vector<bool> flag_outliers(
+    const std::vector<linalg::Vector>& inputs, const stats::Gaussian& good,
+    double fmin = kPaperFmin);
+
+/// Fraction of total outlier weight that a node assigned to its *good*
+/// (heaviest) collection — the paper's "missed outliers" ratio, in [0, 1].
+/// Requires the classification to carry auxiliary vectors. Returns 0 when
+/// there are no outliers.
+[[nodiscard]] double missed_outlier_ratio(
+    const core::Classification<stats::Gaussian>& classification,
+    const std::vector<bool>& outlier_flags);
+
+/// Robust mean-estimation error of one node: distance between the mean of
+/// its heaviest collection and `true_mean`.
+[[nodiscard]] double robust_mean_error(
+    const core::Classification<stats::Gaussian>& classification,
+    const linalg::Vector& true_mean);
+
+/// Regular (no-outlier-removal) mean-estimation error of one node:
+/// distance between the overall weighted mean and `true_mean`.
+[[nodiscard]] double regular_mean_error(
+    const core::Classification<stats::Gaussian>& classification,
+    const linalg::Vector& true_mean);
+
+}  // namespace ddc::metrics

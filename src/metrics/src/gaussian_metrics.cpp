@@ -1,0 +1,63 @@
+#include <ddc/metrics/gaussian_metrics.hpp>
+
+#include <cmath>
+#include <limits>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::metrics {
+
+using linalg::Vector;
+
+Vector overall_mean(const core::Classification<stats::Gaussian>& classification) {
+  DDC_EXPECTS(!classification.empty());
+  Vector acc(classification[0].summary.dim());
+  for (std::size_t i = 0; i < classification.size(); ++i) {
+    acc += classification.relative_weight(i) * classification[i].summary.mean();
+  }
+  return acc;
+}
+
+std::size_t heaviest_collection_index(
+    const core::Classification<stats::Gaussian>& classification) {
+  DDC_EXPECTS(!classification.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < classification.size(); ++i) {
+    if (classification[i].weight > classification[best].weight) best = i;
+  }
+  return best;
+}
+
+Vector heaviest_collection_mean(
+    const core::Classification<stats::Gaussian>& classification) {
+  return classification[heaviest_collection_index(classification)].summary.mean();
+}
+
+double mixture_recovery_error(const stats::GaussianMixture& truth,
+                              const stats::GaussianMixture& estimate) {
+  DDC_EXPECTS(!truth.empty() && !estimate.empty());
+  const double truth_total = truth.total_weight();
+  const double est_total = estimate.total_weight();
+  double error = 0.0;
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    // Nearest estimated component by mean distance.
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t e = 0; e < estimate.size(); ++e) {
+      const double d = linalg::distance2(truth[t].gaussian.mean(),
+                                         estimate[e].gaussian.mean());
+      if (d < best_d) {
+        best_d = d;
+        best = e;
+      }
+    }
+    const double cov_err = linalg::max_abs(truth[t].gaussian.cov() -
+                                           estimate[best].gaussian.cov());
+    const double w_err = std::abs(truth[t].weight / truth_total -
+                                  estimate[best].weight / est_total);
+    error += (truth[t].weight / truth_total) * (best_d + cov_err + w_err);
+  }
+  return error;
+}
+
+}  // namespace ddc::metrics

@@ -1,0 +1,56 @@
+#include <ddc/metrics/outlier_metrics.hpp>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/metrics/gaussian_metrics.hpp>
+
+namespace ddc::metrics {
+
+using linalg::Vector;
+
+std::vector<bool> flag_outliers(const std::vector<Vector>& inputs,
+                                const stats::Gaussian& good, double fmin) {
+  DDC_EXPECTS(fmin > 0.0);
+  std::vector<bool> flags;
+  flags.reserve(inputs.size());
+  for (const auto& x : inputs) flags.push_back(good.pdf(x) < fmin);
+  return flags;
+}
+
+double missed_outlier_ratio(
+    const core::Classification<stats::Gaussian>& classification,
+    const std::vector<bool>& outlier_flags) {
+  DDC_EXPECTS(!classification.empty());
+  const std::size_t good = heaviest_collection_index(classification);
+  DDC_EXPECTS(classification[good].aux.has_value());
+
+  // Total outlier weight held by this node (across all collections) and
+  // the part of it sitting in the good collection.
+  double outlier_total = 0.0;
+  double outlier_in_good = 0.0;
+  for (std::size_t c = 0; c < classification.size(); ++c) {
+    const auto& aux = classification[c].aux;
+    DDC_EXPECTS(aux.has_value());
+    DDC_EXPECTS(aux->dim() == outlier_flags.size());
+    for (std::size_t i = 0; i < outlier_flags.size(); ++i) {
+      if (!outlier_flags[i]) continue;
+      outlier_total += (*aux)[i];
+      if (c == good) outlier_in_good += (*aux)[i];
+    }
+  }
+  if (outlier_total <= 0.0) return 0.0;
+  return outlier_in_good / outlier_total;
+}
+
+double robust_mean_error(
+    const core::Classification<stats::Gaussian>& classification,
+    const Vector& true_mean) {
+  return linalg::distance2(heaviest_collection_mean(classification), true_mean);
+}
+
+double regular_mean_error(
+    const core::Classification<stats::Gaussian>& classification,
+    const Vector& true_mean) {
+  return linalg::distance2(overall_mean(classification), true_mean);
+}
+
+}  // namespace ddc::metrics

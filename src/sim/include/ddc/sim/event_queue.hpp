@@ -1,0 +1,70 @@
+// Discrete-event scheduler.
+//
+// The asynchronous runner models the paper's Section 3.1 channels —
+// asynchronous but reliable, no duplication, no spurious messages — by
+// scheduling each send as a delivery event with an arbitrary finite delay.
+// Events at equal timestamps run in insertion order, so executions are
+// fully deterministic given the RNG seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::sim {
+
+/// Simulated time (arbitrary units).
+using Time = double;
+
+/// A time-ordered queue of closures. Not thread-safe (simulations are
+/// single-threaded and deterministic by design).
+class EventQueue {
+ public:
+  /// Schedules `action` at absolute time `when`. Requires when ≥ now().
+  void schedule(Time when, std::function<void()> action);
+
+  /// Schedules `action` `delay` after now(). Requires delay ≥ 0.
+  void schedule_after(Time delay, std::function<void()> action);
+
+  /// Current simulated time (the timestamp of the last executed event).
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
+  /// Executes the next event. Requires a nonempty queue.
+  void step();
+
+  /// Executes events until the queue is empty or the next event is later
+  /// than `until`; advances now() to min(until, last event time). Returns
+  /// the number of events executed.
+  std::uint64_t run_until(Time until);
+
+  /// Executes at most `max_events` events (or until empty). Returns the
+  /// number executed. A bound, not a goal — use for quiescence runs.
+  std::uint64_t run(std::uint64_t max_events);
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    std::function<void()> action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Time now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace ddc::sim

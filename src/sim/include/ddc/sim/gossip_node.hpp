@@ -1,0 +1,46 @@
+// The node interface the simulation runners drive.
+#pragma once
+
+#include <concepts>
+#include <utility>
+#include <vector>
+
+namespace ddc::sim {
+
+/// A protocol endpoint as seen by the runners. One gossip exchange is:
+/// the runner asks the sender to `prepare_message()` (for the classifier
+/// this performs Algorithm 1's split) and later hands the receiver a batch
+/// of messages via `absorb()` (the classifier unions them and runs one
+/// partition — exactly how the paper's simulations process multi-message
+/// rounds, Section 5.3).
+///
+/// An empty message (`msg.empty()`) means "nothing to send this time" and
+/// is not delivered.
+template <typename N>
+concept GossipNode = requires(N node, typename N::Message message,
+                              std::vector<typename N::Message> batch) {
+  typename N::Message;
+  { node.prepare_message() } -> std::convertible_to<typename N::Message>;
+  { std::as_const(message).empty() } -> std::convertible_to<bool>;
+  { node.absorb(std::move(batch)) };
+};
+
+/// How a node picks which neighbor to gossip with. Both satisfy the
+/// paper's fairness requirement (each neighbor chosen infinitely often):
+/// round-robin deterministically, uniform-random with probability 1.
+enum class NeighborSelection {
+  round_robin,
+  uniform_random,
+};
+
+/// Gossip communication pattern (Section 4.1 mentions push, pull and
+/// push-pull as admissible): with push, the initiator ships half its
+/// classification to the chosen neighbor; with push-pull, the chosen
+/// neighbor simultaneously ships half of its own state back, doubling the
+/// per-round message count but roughly doubling mixing speed.
+enum class GossipPattern {
+  push,
+  push_pull,
+};
+
+}  // namespace ddc::sim

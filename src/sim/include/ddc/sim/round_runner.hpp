@@ -1,0 +1,226 @@
+// Synchronous round-based simulation driver.
+//
+// Reproduces the paper's measurement methodology (Section 5.3): "we
+// measure progress in rounds, where in each round each node sends a
+// classification to one neighbor. Nodes that receive classifications from
+// multiple neighbors accumulate all the received collections and run EM
+// once for the entire set." Crash failures follow Figure 4's model: after
+// each round every live node crashes independently with fixed probability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/sim/gossip_node.hpp>
+#include <ddc/sim/topology.hpp>
+#include <ddc/sim/trace.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::sim {
+
+/// What a live node does about crashed neighbors.
+enum class CrashSendPolicy {
+  /// Nodes detect dead neighbors and gossip only with live ones (a radio
+  /// mote notices silence). Weight is lost only when a node crashes while
+  /// holding it — the Fig. 4 regime.
+  avoid_crashed,
+  /// Nodes keep addressing crashed neighbors; those messages (and their
+  /// weight) vanish. On dense graphs with heavy mortality this drains the
+  /// whole system's weight — a harsher failure model, kept for study.
+  drop_at_crashed,
+};
+
+/// Configuration of a round-based run.
+struct RoundRunnerOptions {
+  NeighborSelection selection = NeighborSelection::uniform_random;
+  GossipPattern pattern = GossipPattern::push;
+  /// Per-node probability of crashing at the end of each round (Fig. 4
+  /// uses 0.05; 0 disables crashes).
+  double crash_probability = 0.0;
+  CrashSendPolicy crash_send_policy = CrashSendPolicy::avoid_crashed;
+  /// Probability that any individual message is silently lost in the
+  /// channel. The paper's model assumes RELIABLE links (Section 3.1) — a
+  /// nonzero value deliberately violates that assumption so its role can
+  /// be studied (bench/abl_channel_reliability): lost messages destroy
+  /// weight, which the protocol never recovers.
+  double message_loss_probability = 0.0;
+  /// Seed for neighbor selection, crash and loss draws.
+  std::uint64_t seed = 1;
+};
+
+/// Drives one node object per topology vertex through synchronous gossip
+/// rounds. The runner owns the nodes; experiments inspect them between
+/// rounds through `nodes()`.
+template <GossipNode Node>
+class RoundRunner {
+ public:
+  using Message = typename Node::Message;
+
+  /// Takes ownership of `nodes` (one per topology vertex).
+  RoundRunner(Topology topology, std::vector<Node> nodes,
+              RoundRunnerOptions options = {})
+      : topology_(std::move(topology)),
+        nodes_(std::move(nodes)),
+        options_(options),
+        env_rng_(stats::Rng::derive(options.seed, 0x524e445255ULL)),
+        alive_(nodes_.size(), true),
+        rr_position_(nodes_.size(), 0) {
+    DDC_EXPECTS(nodes_.size() == topology_.num_nodes());
+    DDC_EXPECTS(options_.crash_probability >= 0.0 &&
+                options_.crash_probability <= 1.0);
+    DDC_EXPECTS(options_.message_loss_probability >= 0.0 &&
+                options_.message_loss_probability <= 1.0);
+  }
+
+  /// Executes one round: every live node sends to one neighbor; every live
+  /// node then absorbs everything it received in a single batch; finally
+  /// crash draws are applied.
+  void run_round() {
+    std::vector<std::vector<Message>> inbox(nodes_.size());
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      if (!alive_[i]) continue;
+      const std::optional<NodeId> maybe_target = select_neighbor(i);
+      if (!maybe_target) {
+        trace(TraceEventType::no_live_neighbor, i, i, 0);
+        continue;  // no eligible neighbor left
+      }
+      const NodeId target = *maybe_target;
+      Message msg = nodes_[i].prepare_message();
+      if (!msg.empty()) {
+        transmit(i, target, std::move(msg), inbox);
+      }
+      if (options_.pattern == GossipPattern::push_pull && alive_[target]) {
+        // The contacted neighbor answers with half of its own state.
+        Message reply = nodes_[target].prepare_message();
+        if (!reply.empty()) {
+          transmit(target, i, std::move(reply), inbox);
+        }
+      }
+    }
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      if (alive_[i] && !inbox[i].empty()) {
+        nodes_[i].absorb(std::move(inbox[i]));
+      }
+    }
+    if (options_.crash_probability > 0.0) {
+      for (NodeId i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] && env_rng_.bernoulli(options_.crash_probability)) {
+          alive_[i] = false;
+          trace(TraceEventType::crash, i, i, 0);
+        }
+      }
+    }
+    ++round_;
+  }
+
+  /// Executes `count` rounds.
+  void run_rounds(std::size_t count) {
+    for (std::size_t r = 0; r < count; ++r) run_round();
+  }
+
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] std::vector<Node>& nodes() noexcept { return nodes_; }
+
+  /// Attaches (or detaches, with nullptr) an execution trace recorder.
+  /// The recorder is borrowed and must outlive the runs it observes.
+  void set_trace(TraceRecorder* recorder) noexcept { trace_ = recorder; }
+
+  [[nodiscard]] bool alive(NodeId i) const {
+    DDC_EXPECTS(i < alive_.size());
+    return alive_[i];
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    std::size_t count = 0;
+    for (const bool a : alive_) count += a ? 1 : 0;
+    return count;
+  }
+
+ private:
+  /// One loss draw per message (only when losses are configured, to keep
+  /// loss-free executions' randomness untouched).
+  [[nodiscard]] bool channel_drops() {
+    return options_.message_loss_probability > 0.0 &&
+           env_rng_.bernoulli(options_.message_loss_probability);
+  }
+
+  /// Payload size proxy: collections for classification messages, 1 for
+  /// scalar protocols like push-sum.
+  [[nodiscard]] static std::size_t payload_units(const Message& msg) {
+    if constexpr (requires { msg.size(); }) {
+      return msg.size();
+    } else {
+      return 1;
+    }
+  }
+
+  void trace(TraceEventType type, NodeId from, NodeId to, std::size_t payload) {
+    if (trace_ != nullptr) trace_->record({round_, type, from, to, payload});
+  }
+
+  /// Puts one message on the wire: records the send, then either loses it,
+  /// drops it at a dead target, or queues it for delivery.
+  void transmit(NodeId from, NodeId to, Message msg,
+                std::vector<std::vector<Message>>& inbox) {
+    const std::size_t payload = payload_units(msg);
+    trace(TraceEventType::send, from, to, payload);
+    if (!alive_[to]) {
+      // Reachable only under drop_at_crashed: a packet to a dead mote.
+      trace(TraceEventType::dead_target, from, to, payload);
+      return;
+    }
+    if (channel_drops()) {
+      trace(TraceEventType::loss, from, to, payload);
+      return;
+    }
+    trace(TraceEventType::deliver, from, to, payload);
+    inbox[to].push_back(std::move(msg));
+  }
+
+  /// Picks i's gossip target, honouring the crash-send policy. Returns
+  /// nullopt when every eligible neighbor is dead.
+  [[nodiscard]] std::optional<NodeId> select_neighbor(NodeId i) {
+    const std::span<const NodeId> nbrs = topology_.neighbors(i);
+    DDC_ASSERT(!nbrs.empty());
+    const bool avoid =
+        options_.crash_send_policy == CrashSendPolicy::avoid_crashed;
+    switch (options_.selection) {
+      case NeighborSelection::round_robin: {
+        // Advance past dead neighbors (at most one lap).
+        for (std::size_t step = 0; step < nbrs.size(); ++step) {
+          const NodeId target = nbrs[rr_position_[i] % nbrs.size()];
+          rr_position_[i] = (rr_position_[i] + 1) % nbrs.size();
+          if (!avoid || alive_[target]) return target;
+        }
+        return std::nullopt;
+      }
+      case NeighborSelection::uniform_random: {
+        if (!avoid) return nbrs[env_rng_.uniform_index(nbrs.size())];
+        std::vector<NodeId> live;
+        live.reserve(nbrs.size());
+        for (const NodeId t : nbrs) {
+          if (alive_[t]) live.push_back(t);
+        }
+        if (live.empty()) return std::nullopt;
+        return live[env_rng_.uniform_index(live.size())];
+      }
+    }
+    DDC_ASSERT(false);
+    return std::nullopt;
+  }
+
+  Topology topology_;
+  std::vector<Node> nodes_;
+  RoundRunnerOptions options_;
+  stats::Rng env_rng_;
+  std::vector<bool> alive_;
+  std::vector<std::size_t> rr_position_;
+  std::size_t round_ = 0;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace ddc::sim

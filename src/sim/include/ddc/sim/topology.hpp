@@ -1,0 +1,99 @@
+// Network topologies.
+//
+// The paper's model (Section 3.1) is a static directed connected network
+// of n nodes with reliable asynchronous channels, and its convergence
+// theorem holds for *any* such topology. This module provides the standard
+// families used by the evaluation and the ablations: the fully-connected
+// graph of Section 5.3, rings/lines/grids, random geometric graphs (the
+// natural model of a radio sensor field), and Erdős–Rényi graphs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::sim {
+
+using NodeId = std::size_t;
+
+/// A static directed graph with adjacency lists. Immutable once built.
+class Topology {
+ public:
+  /// Graph from explicit directed edges. Self-loops and duplicate edges
+  /// are rejected.
+  [[nodiscard]] static Topology from_edges(
+      std::size_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+  /// Complete graph K_n (the evaluation topology of Section 5.3).
+  /// Requires n ≥ 2.
+  [[nodiscard]] static Topology complete(std::size_t n);
+
+  /// Bidirectional ring 0–1–…–(n−1)–0. Requires n ≥ 2.
+  [[nodiscard]] static Topology ring(std::size_t n);
+
+  /// Unidirectional (directed) ring — the minimal strongly-connected
+  /// digraph; a stress case for convergence. Requires n ≥ 2.
+  [[nodiscard]] static Topology directed_ring(std::size_t n);
+
+  /// Bidirectional path 0–1–…–(n−1). Requires n ≥ 2.
+  [[nodiscard]] static Topology line(std::size_t n);
+
+  /// Star with node 0 at the center. Requires n ≥ 2.
+  [[nodiscard]] static Topology star(std::size_t n);
+
+  /// rows×cols 4-neighbor grid, optionally wrapped into a torus.
+  /// Requires rows·cols ≥ 2.
+  [[nodiscard]] static Topology grid(std::size_t rows, std::size_t cols,
+                                     bool torus = false);
+
+  /// Random geometric graph: n nodes placed uniformly in the unit square,
+  /// connected when within `radius`. Models radio range in a sensor field.
+  /// Redraws positions (up to `max_attempts`) until the graph is
+  /// connected; throws ddc::ConfigError if that never happens.
+  [[nodiscard]] static Topology random_geometric(std::size_t n, double radius,
+                                                 stats::Rng& rng,
+                                                 std::size_t max_attempts = 100);
+
+  /// Erdős–Rényi G(n, p), redrawn until connected (up to `max_attempts`).
+  [[nodiscard]] static Topology erdos_renyi(std::size_t n, double p,
+                                            stats::Rng& rng,
+                                            std::size_t max_attempts = 100);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return out_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+
+  /// Out-neighbors of `i` — the nodes `i` may send to.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId i) const;
+
+  /// True iff there is an edge i → j.
+  [[nodiscard]] bool has_edge(NodeId i, NodeId j) const;
+
+  /// Strong connectivity (the paper's standing assumption).
+  [[nodiscard]] bool is_connected() const;
+
+  /// Diameter of the underlying graph (longest shortest path, following
+  /// directed edges). Requires a connected graph.
+  [[nodiscard]] std::size_t diameter() const;
+
+  /// Node positions in the unit square — engaged for random_geometric
+  /// topologies (useful for examples that want spatial semantics).
+  [[nodiscard]] const std::optional<std::vector<std::pair<double, double>>>&
+  positions() const noexcept {
+    return positions_;
+  }
+
+ private:
+  explicit Topology(std::size_t n) : out_(n) {}
+  void add_edge(NodeId from, NodeId to);
+  void add_undirected(NodeId a, NodeId b);
+
+  std::vector<std::vector<NodeId>> out_;
+  std::size_t num_edges_ = 0;
+  std::optional<std::vector<std::pair<double, double>>> positions_;
+};
+
+}  // namespace ddc::sim

@@ -1,0 +1,46 @@
+#include <ddc/sim/event_queue.hpp>
+
+#include <utility>
+
+namespace ddc::sim {
+
+void EventQueue::schedule(Time when, std::function<void()> action) {
+  DDC_EXPECTS(when >= now_);
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void EventQueue::schedule_after(Time delay, std::function<void()> action) {
+  DDC_EXPECTS(delay >= 0.0);
+  schedule(now_ + delay, std::move(action));
+}
+
+void EventQueue::step() {
+  DDC_EXPECTS(!heap_.empty());
+  // priority_queue::top() is const; move is safe because we pop right away.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = entry.when;
+  ++executed_;
+  entry.action();
+}
+
+std::uint64_t EventQueue::run_until(Time until) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+    ++count;
+  }
+  now_ = std::max(now_, until);
+  return count;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t max_events) {
+  std::uint64_t count = 0;
+  while (!heap_.empty() && count < max_events) {
+    step();
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace ddc::sim

@@ -1,0 +1,209 @@
+#include <ddc/sim/topology.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/common/error.hpp>
+
+namespace ddc::sim {
+
+void Topology::add_edge(NodeId from, NodeId to) {
+  DDC_EXPECTS(from < out_.size() && to < out_.size());
+  DDC_EXPECTS(from != to);
+  DDC_EXPECTS(!has_edge(from, to));
+  out_[from].push_back(to);
+  ++num_edges_;
+}
+
+void Topology::add_undirected(NodeId a, NodeId b) {
+  add_edge(a, b);
+  add_edge(b, a);
+}
+
+Topology Topology::from_edges(
+    std::size_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  DDC_EXPECTS(num_nodes >= 1);
+  Topology t(num_nodes);
+  for (const auto& [from, to] : edges) t.add_edge(from, to);
+  return t;
+}
+
+Topology Topology::complete(std::size_t n) {
+  DDC_EXPECTS(n >= 2);
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      if (i != j) t.add_edge(i, j);
+    }
+  }
+  return t;
+}
+
+Topology Topology::ring(std::size_t n) {
+  DDC_EXPECTS(n >= 2);
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId next = (i + 1) % n;
+    if (!t.has_edge(i, next)) t.add_undirected(i, next);
+  }
+  return t;
+}
+
+Topology Topology::directed_ring(std::size_t n) {
+  DDC_EXPECTS(n >= 2);
+  Topology t(n);
+  for (NodeId i = 0; i < n; ++i) t.add_edge(i, (i + 1) % n);
+  return t;
+}
+
+Topology Topology::line(std::size_t n) {
+  DDC_EXPECTS(n >= 2);
+  Topology t(n);
+  for (NodeId i = 0; i + 1 < n; ++i) t.add_undirected(i, i + 1);
+  return t;
+}
+
+Topology Topology::star(std::size_t n) {
+  DDC_EXPECTS(n >= 2);
+  Topology t(n);
+  for (NodeId i = 1; i < n; ++i) t.add_undirected(0, i);
+  return t;
+}
+
+Topology Topology::grid(std::size_t rows, std::size_t cols, bool torus) {
+  DDC_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Topology t(rows * cols);
+  const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        t.add_undirected(id(r, c), id(r, c + 1));
+      } else if (torus && cols > 2) {
+        t.add_undirected(id(r, c), id(r, 0));
+      }
+      if (r + 1 < rows) {
+        t.add_undirected(id(r, c), id(r + 1, c));
+      } else if (torus && rows > 2) {
+        t.add_undirected(id(r, c), id(0, c));
+      }
+    }
+  }
+  return t;
+}
+
+Topology Topology::random_geometric(std::size_t n, double radius,
+                                    stats::Rng& rng, std::size_t max_attempts) {
+  DDC_EXPECTS(n >= 2);
+  DDC_EXPECTS(radius > 0.0);
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Topology t(n);
+    std::vector<std::pair<double, double>> pos(n);
+    for (auto& p : pos) p = {rng.uniform(), rng.uniform()};
+    const double r2 = radius * radius;
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        const double dx = pos[i].first - pos[j].first;
+        const double dy = pos[i].second - pos[j].second;
+        if (dx * dx + dy * dy <= r2) t.add_undirected(i, j);
+      }
+    }
+    if (t.is_connected()) {
+      t.positions_ = std::move(pos);
+      return t;
+    }
+  }
+  throw ConfigError(
+      "random_geometric: no connected placement found; increase the radius");
+}
+
+Topology Topology::erdos_renyi(std::size_t n, double p, stats::Rng& rng,
+                               std::size_t max_attempts) {
+  DDC_EXPECTS(n >= 2);
+  DDC_EXPECTS(p > 0.0 && p <= 1.0);
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Topology t(n);
+    for (NodeId i = 0; i < n; ++i) {
+      for (NodeId j = i + 1; j < n; ++j) {
+        if (rng.bernoulli(p)) t.add_undirected(i, j);
+      }
+    }
+    if (t.is_connected()) return t;
+  }
+  throw ConfigError("erdos_renyi: no connected draw found; increase p");
+}
+
+std::span<const NodeId> Topology::neighbors(NodeId i) const {
+  DDC_EXPECTS(i < out_.size());
+  return out_[i];
+}
+
+bool Topology::has_edge(NodeId i, NodeId j) const {
+  DDC_EXPECTS(i < out_.size() && j < out_.size());
+  return std::find(out_[i].begin(), out_[i].end(), j) != out_[i].end();
+}
+
+namespace {
+
+/// Nodes reachable from `start` following `adjacency`.
+std::size_t reachable_count(const std::vector<std::vector<NodeId>>& adjacency,
+                            NodeId start) {
+  std::vector<bool> seen(adjacency.size(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[start] = true;
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const NodeId v : adjacency[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        frontier.push(v);
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+bool Topology::is_connected() const {
+  if (out_.size() <= 1) return true;
+  // Strong connectivity: everyone reachable from 0 following edges, and 0
+  // reachable from everyone (equivalently: everyone reachable from 0 in
+  // the reverse graph).
+  if (reachable_count(out_, 0) != out_.size()) return false;
+  std::vector<std::vector<NodeId>> reverse(out_.size());
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    for (const NodeId v : out_[u]) reverse[v].push_back(u);
+  }
+  return reachable_count(reverse, 0) == out_.size();
+}
+
+std::size_t Topology::diameter() const {
+  DDC_EXPECTS(is_connected());
+  std::size_t best = 0;
+  for (NodeId s = 0; s < out_.size(); ++s) {
+    std::vector<std::size_t> dist(out_.size(), SIZE_MAX);
+    std::queue<NodeId> frontier;
+    dist[s] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const NodeId v : out_[u]) {
+        if (dist[v] == SIZE_MAX) {
+          dist[v] = dist[u] + 1;
+          frontier.push(v);
+        }
+      }
+    }
+    for (const std::size_t d : dist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace ddc::sim

@@ -1,0 +1,47 @@
+#include <ddc/sim/trace.hpp>
+
+#include <ostream>
+
+namespace ddc::sim {
+
+std::string_view to_string(TraceEventType type) noexcept {
+  switch (type) {
+    case TraceEventType::send:
+      return "send";
+    case TraceEventType::deliver:
+      return "deliver";
+    case TraceEventType::loss:
+      return "loss";
+    case TraceEventType::dead_target:
+      return "dead_target";
+    case TraceEventType::crash:
+      return "crash";
+    case TraceEventType::no_live_neighbor:
+      return "no_live_neighbor";
+  }
+  return "unknown";
+}
+
+std::size_t TraceRecorder::count(TraceEventType type) const noexcept {
+  std::size_t acc = 0;
+  for (const auto& e : events_) acc += e.type == type ? 1 : 0;
+  return acc;
+}
+
+std::uint64_t TraceRecorder::total_payload_sent() const noexcept {
+  std::uint64_t acc = 0;
+  for (const auto& e : events_) {
+    if (e.type == TraceEventType::send) acc += e.payload_units;
+  }
+  return acc;
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "round,event,from,to,payload\n";
+  for (const auto& e : events_) {
+    os << e.round << ',' << to_string(e.type) << ',' << e.from << ',' << e.to
+       << ',' << e.payload_units << '\n';
+  }
+}
+
+}  // namespace ddc::sim

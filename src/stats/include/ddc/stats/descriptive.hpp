@@ -1,0 +1,61 @@
+// Descriptive statistics for weighted multivariate samples.
+//
+// Centralized references (Lloyd's k-means, batch EM) and tests use these to
+// compute the exact moments that the distributed protocol should agree
+// with: the paper's Lemma 1 says a collection's summary must equal the
+// summary `f` of the weighted values it stands for.
+#pragma once
+
+#include <vector>
+
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::stats {
+
+/// A value with an attached positive weight — the paper's ⟨val, α⟩ pair.
+struct WeightedValue {
+  linalg::Vector value;
+  double weight = 1.0;
+};
+
+/// Sum of the weights. Requires all weights > 0.
+[[nodiscard]] double total_weight(const std::vector<WeightedValue>& sample);
+
+/// Weighted mean Σ αᵢ vᵢ / Σ αᵢ. Requires a nonempty sample with positive
+/// total weight and consistent dimensions.
+[[nodiscard]] linalg::Vector weighted_mean(const std::vector<WeightedValue>& sample);
+
+/// Weighted population covariance Σ αᵢ (vᵢ−µ)(vᵢ−µ)ᵀ / Σ αᵢ (the paper's
+/// GM summary uses the population convention — a single value has Σ = 0).
+[[nodiscard]] linalg::Matrix weighted_covariance(
+    const std::vector<WeightedValue>& sample);
+
+/// Streaming weighted mean/covariance accumulator (West's incremental
+/// update). Numerically stable alternative to two-pass moments for large
+/// samples; also usable as a running probe inside the simulator.
+class RunningMoments {
+ public:
+  explicit RunningMoments(std::size_t dim);
+
+  /// Accumulates one observation with weight `w > 0`.
+  void add(const linalg::Vector& value, double w = 1.0);
+
+  [[nodiscard]] std::size_t dim() const noexcept { return mean_.dim(); }
+  [[nodiscard]] double weight() const noexcept { return weight_; }
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  /// Current weighted mean. Requires weight() > 0.
+  [[nodiscard]] const linalg::Vector& mean() const;
+
+  /// Current weighted population covariance. Requires weight() > 0.
+  [[nodiscard]] linalg::Matrix covariance() const;
+
+ private:
+  linalg::Vector mean_;
+  linalg::Matrix scatter_;  // Σ wᵢ (vᵢ−µ)(vᵢ−µ)ᵀ accumulated incrementally
+  double weight_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace ddc::stats

@@ -1,0 +1,76 @@
+// Gaussian Mixture model.
+//
+// A node's classification under the GM instantiation *is* a weighted set of
+// Gaussians (paper Section 5); this class also serves as the ground-truth
+// generator for every evaluation workload (Figures 2–4).
+#pragma once
+
+#include <vector>
+
+#include <ddc/stats/gaussian.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::stats {
+
+/// A finite mixture Σᵢ wᵢ N(µᵢ, Σᵢ) with wᵢ > 0. Weights need not sum to 1;
+/// densities are computed with normalized weights.
+class GaussianMixture {
+ public:
+  GaussianMixture() = default;
+
+  /// Mixture from explicit components; all must share one dimension and
+  /// have positive weight.
+  explicit GaussianMixture(std::vector<WeightedGaussian> components);
+
+  [[nodiscard]] std::size_t size() const noexcept { return components_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return components_.empty(); }
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return components_.empty() ? 0 : components_.front().gaussian.dim();
+  }
+
+  [[nodiscard]] const WeightedGaussian& operator[](std::size_t i) const {
+    DDC_EXPECTS(i < components_.size());
+    return components_[i];
+  }
+  [[nodiscard]] const std::vector<WeightedGaussian>& components() const noexcept {
+    return components_;
+  }
+
+  /// Appends a component. Requires positive weight and matching dimension
+  /// (if the mixture is nonempty).
+  void add(WeightedGaussian component);
+
+  /// Sum of component weights.
+  [[nodiscard]] double total_weight() const noexcept;
+
+  /// Density at `x` under the weight-normalized mixture.
+  [[nodiscard]] double pdf(const linalg::Vector& x) const;
+
+  /// log pdf(x), computed with the log-sum-exp trick.
+  [[nodiscard]] double log_pdf(const linalg::Vector& x) const;
+
+  /// Posterior responsibilities p(component i | x); sums to 1.
+  [[nodiscard]] std::vector<double> responsibilities(const linalg::Vector& x) const;
+
+  /// Index of the component with the largest posterior at `x` — the
+  /// "associate the value with the collection it fits best" rule from the
+  /// paper's introduction.
+  [[nodiscard]] std::size_t classify(const linalg::Vector& x) const;
+
+  /// Draws one sample (choose a component by weight, then sample it).
+  [[nodiscard]] linalg::Vector sample(Rng& rng) const;
+
+  /// Draws `count` samples.
+  [[nodiscard]] std::vector<linalg::Vector> sample(Rng& rng, std::size_t count) const;
+
+  /// Mean of the full mixture: Σ wᵢ µᵢ / Σ wᵢ.
+  [[nodiscard]] linalg::Vector mean() const;
+
+  /// Single moment-matched Gaussian of the whole mixture.
+  [[nodiscard]] Gaussian collapse() const;
+
+ private:
+  std::vector<WeightedGaussian> components_;
+};
+
+}  // namespace ddc::stats

@@ -1,0 +1,29 @@
+// Distances between Gaussian mixtures.
+//
+// The Integrated Squared Error ∫(f−g)² between two Gaussian mixtures has a
+// closed form (every cross term is itself a Gaussian density evaluated at
+// a mean difference), which makes it the principled way to score how well
+// a node's converged classification matches the generating truth — no
+// component matching heuristics, no Monte Carlo.
+#pragma once
+
+#include <ddc/stats/mixture.hpp>
+
+namespace ddc::stats {
+
+/// ∫ f·g over R^d for the weight-normalized densities of two mixtures.
+/// Closed form: Σᵢⱼ wᵢ w̃ⱼ N(µᵢ − µⱼ; 0, Σᵢ + Σⱼ). Degenerate covariance
+/// sums are jitter-regularized (consistent with Gaussian::pdf).
+[[nodiscard]] double product_integral(const GaussianMixture& f,
+                                      const GaussianMixture& g);
+
+/// Integrated squared error ∫ (f − g)² = ∫f² − 2∫fg + ∫g² ≥ 0.
+[[nodiscard]] double ise_distance(const GaussianMixture& f,
+                                  const GaussianMixture& g);
+
+/// Normalized ISE: ISE / (∫f² + ∫g²) ∈ [0, 1]. 0 iff the densities
+/// coincide; → 1 for mixtures with disjoint support.
+[[nodiscard]] double normalized_ise(const GaussianMixture& f,
+                                    const GaussianMixture& g);
+
+}  // namespace ddc::stats

@@ -1,0 +1,68 @@
+#include <ddc/stats/descriptive.hpp>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::stats {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+double total_weight(const std::vector<WeightedValue>& sample) {
+  double acc = 0.0;
+  for (const auto& wv : sample) {
+    DDC_EXPECTS(wv.weight > 0.0);
+    acc += wv.weight;
+  }
+  return acc;
+}
+
+Vector weighted_mean(const std::vector<WeightedValue>& sample) {
+  DDC_EXPECTS(!sample.empty());
+  const double total = total_weight(sample);
+  DDC_EXPECTS(total > 0.0);
+  Vector acc(sample.front().value.dim());
+  for (const auto& wv : sample) acc += (wv.weight / total) * wv.value;
+  return acc;
+}
+
+Matrix weighted_covariance(const std::vector<WeightedValue>& sample) {
+  DDC_EXPECTS(!sample.empty());
+  const Vector mu = weighted_mean(sample);
+  const double total = total_weight(sample);
+  Matrix acc(mu.dim(), mu.dim());
+  for (const auto& wv : sample) {
+    const Vector d = wv.value - mu;
+    acc += (wv.weight / total) * linalg::outer(d, d);
+  }
+  return linalg::symmetrize(acc);
+}
+
+RunningMoments::RunningMoments(std::size_t dim)
+    : mean_(dim), scatter_(dim, dim) {}
+
+void RunningMoments::add(const Vector& value, double w) {
+  DDC_EXPECTS(w > 0.0);
+  DDC_EXPECTS(value.dim() == dim());
+  const double new_weight = weight_ + w;
+  const Vector delta = value - mean_;
+  mean_ += (w / new_weight) * delta;
+  // West (1979): scatter += w · δ (v − µ_new)ᵀ, expressed symmetrically.
+  const Vector delta2 = value - mean_;
+  scatter_ += w * linalg::outer(delta, delta2);
+  weight_ = new_weight;
+  ++count_;
+  // outer(delta, delta2) is asymmetric in finite precision; symmetrize
+  // lazily in covariance() instead of every step.
+}
+
+const Vector& RunningMoments::mean() const {
+  DDC_EXPECTS(weight_ > 0.0);
+  return mean_;
+}
+
+Matrix RunningMoments::covariance() const {
+  DDC_EXPECTS(weight_ > 0.0);
+  return linalg::symmetrize(scatter_ / weight_);
+}
+
+}  // namespace ddc::stats

@@ -1,0 +1,124 @@
+#include <ddc/stats/gaussian.hpp>
+
+#include <cmath>
+#include <numbers>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::stats {
+
+using linalg::Cholesky;
+using linalg::Matrix;
+using linalg::Vector;
+
+Gaussian::Gaussian(std::size_t dim)
+    : mean_(dim), cov_(Matrix::identity(dim)) {}
+
+Gaussian::Gaussian(Vector mean, Matrix cov)
+    : mean_(std::move(mean)), cov_(std::move(cov)) {
+  DDC_EXPECTS(cov_.square());
+  DDC_EXPECTS(cov_.rows() == mean_.dim());
+  DDC_EXPECTS(linalg::is_symmetric(cov_, 1e-9));
+  cov_ = linalg::symmetrize(cov_);
+}
+
+Gaussian Gaussian::point_mass(Vector mean) {
+  const std::size_t d = mean.dim();
+  return Gaussian(std::move(mean), Matrix(d, d));
+}
+
+Gaussian Gaussian::spherical(Vector mean, double stddev) {
+  DDC_EXPECTS(stddev >= 0.0);
+  const std::size_t d = mean.dim();
+  return Gaussian(std::move(mean), Matrix::identity(d) * (stddev * stddev));
+}
+
+const Cholesky& Gaussian::factor() const {
+  if (!factor_) factor_ = linalg::regularized_cholesky(cov_);
+  return *factor_;
+}
+
+double Gaussian::mahalanobis_squared(const Vector& x) const {
+  DDC_EXPECTS(x.dim() == dim());
+  return factor().mahalanobis_squared(x - mean_);
+}
+
+double Gaussian::log_pdf(const Vector& x) const {
+  DDC_EXPECTS(x.dim() == dim());
+  const double d = static_cast<double>(dim());
+  return -0.5 * (d * std::log(2.0 * std::numbers::pi) + factor().log_det() +
+                 mahalanobis_squared(x));
+}
+
+double Gaussian::pdf(const Vector& x) const { return std::exp(log_pdf(x)); }
+
+Vector Gaussian::sample(Rng& rng) const {
+  const std::size_t d = dim();
+  Vector z(d);
+  for (std::size_t i = 0; i < d; ++i) z[i] = rng.normal();
+  return mean_ + factor().lower() * z;
+}
+
+double kl_divergence(const Gaussian& a, const Gaussian& b) {
+  DDC_EXPECTS(a.dim() == b.dim());
+  const double d = static_cast<double>(a.dim());
+  const Cholesky fb = linalg::regularized_cholesky(b.cov());
+  const Cholesky fa = linalg::regularized_cholesky(a.cov());
+  const Matrix b_inv = fb.inverse();
+  const double tr = linalg::trace(b_inv * a.cov());
+  const double maha = fb.mahalanobis_squared(b.mean() - a.mean());
+  return 0.5 * (tr + maha - d + fb.log_det() - fa.log_det());
+}
+
+double symmetric_kl(const Gaussian& a, const Gaussian& b) {
+  return kl_divergence(a, b) + kl_divergence(b, a);
+}
+
+double bhattacharyya(const Gaussian& a, const Gaussian& b) {
+  DDC_EXPECTS(a.dim() == b.dim());
+  const Matrix avg_cov = (a.cov() + b.cov()) / 2.0;
+  const Cholesky favg = linalg::regularized_cholesky(avg_cov);
+  const Cholesky fa = linalg::regularized_cholesky(a.cov());
+  const Cholesky fb = linalg::regularized_cholesky(b.cov());
+  const double maha = favg.mahalanobis_squared(a.mean() - b.mean());
+  const double log_ratio =
+      favg.log_det() - 0.5 * (fa.log_det() + fb.log_det());
+  return maha / 8.0 + 0.5 * log_ratio;
+}
+
+double expected_log_pdf(const Gaussian& a, const Gaussian& b) {
+  DDC_EXPECTS(a.dim() == b.dim());
+  // E_{x~N(µa,Σa)}[log N(x; µb, Σb)]
+  //   = −½ (d log 2π + log|Σb| + tr(Σb⁻¹ Σa) + (µa−µb)ᵀ Σb⁻¹ (µa−µb)).
+  const double d = static_cast<double>(a.dim());
+  const Cholesky fb = linalg::regularized_cholesky(b.cov());
+  const double tr = linalg::trace(fb.inverse() * a.cov());
+  const double maha = fb.mahalanobis_squared(a.mean() - b.mean());
+  return -0.5 *
+         (d * std::log(2.0 * std::numbers::pi) + fb.log_det() + tr + maha);
+}
+
+Gaussian moment_match(const std::vector<WeightedGaussian>& parts) {
+  DDC_EXPECTS(!parts.empty());
+  const std::size_t d = parts.front().gaussian.dim();
+  double total = 0.0;
+  for (const auto& p : parts) {
+    DDC_EXPECTS(p.weight > 0.0);
+    DDC_EXPECTS(p.gaussian.dim() == d);
+    total += p.weight;
+  }
+  DDC_EXPECTS(total > 0.0);
+
+  Vector mean(d);
+  for (const auto& p : parts) mean += (p.weight / total) * p.gaussian.mean();
+
+  // Law of total covariance: Σ = Σᵢ wᵢ (Σᵢ + (µᵢ−µ)(µᵢ−µ)ᵀ) / W.
+  Matrix cov(d, d);
+  for (const auto& p : parts) {
+    const Vector delta = p.gaussian.mean() - mean;
+    cov += (p.weight / total) * (p.gaussian.cov() + linalg::outer(delta, delta));
+  }
+  return Gaussian(std::move(mean), linalg::symmetrize(cov));
+}
+
+}  // namespace ddc::stats

@@ -1,0 +1,76 @@
+#include <ddc/stats/histogram.hpp>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ddc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), mass_(bins, 0.0) {
+  DDC_EXPECTS(bins >= 1);
+  DDC_EXPECTS(lo < hi);
+}
+
+std::size_t Histogram::bin_of(double x) const noexcept {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return mass_.size() - 1;
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto b = static_cast<std::size_t>(t * static_cast<double>(mass_.size()));
+  return std::min(b, mass_.size() - 1);
+}
+
+void Histogram::add(double x, double weight) {
+  DDC_EXPECTS(weight >= 0.0);
+  mass_[bin_of(x)] += weight;
+}
+
+void Histogram::merge(const Histogram& other, double scale) {
+  DDC_EXPECTS(other.lo_ == lo_ && other.hi_ == hi_ &&
+              other.mass_.size() == mass_.size());
+  DDC_EXPECTS(scale >= 0.0);
+  for (std::size_t b = 0; b < mass_.size(); ++b) {
+    mass_[b] += scale * other.mass_[b];
+  }
+}
+
+void Histogram::scale(double s) {
+  DDC_EXPECTS(s >= 0.0);
+  for (double& m : mass_) m *= s;
+}
+
+double Histogram::total() const noexcept {
+  double acc = 0.0;
+  for (double m : mass_) acc += m;
+  return acc;
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  DDC_EXPECTS(b < mass_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(mass_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * width;
+}
+
+double Histogram::mean() const {
+  const double t = total();
+  DDC_EXPECTS(t > 0.0);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < mass_.size(); ++b) {
+    acc += mass_[b] * bin_center(b);
+  }
+  return acc / t;
+}
+
+double Histogram::l1_distance(const Histogram& other) const {
+  DDC_EXPECTS(other.lo_ == lo_ && other.hi_ == hi_ &&
+              other.mass_.size() == mass_.size());
+  const double ta = total();
+  const double tb = other.total();
+  DDC_EXPECTS(ta > 0.0 && tb > 0.0);
+  double acc = 0.0;
+  for (std::size_t b = 0; b < mass_.size(); ++b) {
+    acc += std::abs(mass_[b] / ta - other.mass_[b] / tb);
+  }
+  return acc;
+}
+
+}  // namespace ddc::stats

@@ -1,0 +1,112 @@
+#include <ddc/stats/mixture.hpp>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::stats {
+
+using linalg::Vector;
+
+GaussianMixture::GaussianMixture(std::vector<WeightedGaussian> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) return;
+  const std::size_t d = components_.front().gaussian.dim();
+  for (const auto& c : components_) {
+    DDC_EXPECTS(c.weight > 0.0);
+    DDC_EXPECTS(c.gaussian.dim() == d);
+  }
+}
+
+void GaussianMixture::add(WeightedGaussian component) {
+  DDC_EXPECTS(component.weight > 0.0);
+  DDC_EXPECTS(components_.empty() || component.gaussian.dim() == dim());
+  components_.push_back(std::move(component));
+}
+
+double GaussianMixture::total_weight() const noexcept {
+  double acc = 0.0;
+  for (const auto& c : components_) acc += c.weight;
+  return acc;
+}
+
+double GaussianMixture::pdf(const Vector& x) const {
+  return std::exp(log_pdf(x));
+}
+
+double GaussianMixture::log_pdf(const Vector& x) const {
+  DDC_EXPECTS(!components_.empty());
+  const double log_total = std::log(total_weight());
+  double max_term = -std::numeric_limits<double>::infinity();
+  std::vector<double> terms;
+  terms.reserve(components_.size());
+  for (const auto& c : components_) {
+    const double t = std::log(c.weight) - log_total + c.gaussian.log_pdf(x);
+    terms.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  if (!std::isfinite(max_term)) return max_term;
+  double acc = 0.0;
+  for (double t : terms) acc += std::exp(t - max_term);
+  return max_term + std::log(acc);
+}
+
+std::vector<double> GaussianMixture::responsibilities(const Vector& x) const {
+  DDC_EXPECTS(!components_.empty());
+  std::vector<double> logs;
+  logs.reserve(components_.size());
+  double max_term = -std::numeric_limits<double>::infinity();
+  for (const auto& c : components_) {
+    const double t = std::log(c.weight) + c.gaussian.log_pdf(x);
+    logs.push_back(t);
+    max_term = std::max(max_term, t);
+  }
+  std::vector<double> out(components_.size(), 0.0);
+  if (!std::isfinite(max_term)) {
+    // All densities underflowed; fall back to uniform responsibility.
+    std::fill(out.begin(), out.end(), 1.0 / static_cast<double>(out.size()));
+    return out;
+  }
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    out[i] = std::exp(logs[i] - max_term);
+    denom += out[i];
+  }
+  for (double& r : out) r /= denom;
+  return out;
+}
+
+std::size_t GaussianMixture::classify(const Vector& x) const {
+  const std::vector<double> r = responsibilities(x);
+  return static_cast<std::size_t>(
+      std::distance(r.begin(), std::max_element(r.begin(), r.end())));
+}
+
+Vector GaussianMixture::sample(Rng& rng) const {
+  DDC_EXPECTS(!components_.empty());
+  std::vector<double> weights;
+  weights.reserve(components_.size());
+  for (const auto& c : components_) weights.push_back(c.weight);
+  return components_[rng.discrete(weights)].gaussian.sample(rng);
+}
+
+std::vector<Vector> GaussianMixture::sample(Rng& rng, std::size_t count) const {
+  std::vector<Vector> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+Vector GaussianMixture::mean() const {
+  DDC_EXPECTS(!components_.empty());
+  const double total = total_weight();
+  Vector acc(dim());
+  for (const auto& c : components_) acc += (c.weight / total) * c.gaussian.mean();
+  return acc;
+}
+
+Gaussian GaussianMixture::collapse() const { return moment_match(components_); }
+
+}  // namespace ddc::stats

@@ -1,0 +1,48 @@
+// Centroid summaries — the paper's in-line example (Algorithm 2).
+//
+// A collection is summarized by its centroid (the weighted average of its
+// values); the summary domain S equals the value domain R^d and dS is the
+// L2 distance between centroids, which satisfies requirement R1 (the paper
+// cites its technical report for the proof; our property tests validate it
+// statistically).
+#pragma once
+
+#include <vector>
+
+#include <ddc/core/collection.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::summaries {
+
+/// SummaryPolicy for centroid classification (k-means-style).
+struct CentroidPolicy {
+  using Value = linalg::Vector;
+  using Summary = linalg::Vector;
+
+  /// Algorithm 2, valToSummary: the centroid of {⟨val, 1⟩} is val itself.
+  [[nodiscard]] static Summary val_to_summary(const Value& value) {
+    return value;
+  }
+
+  /// Algorithm 2, mergeSet: the weighted average of the part centroids.
+  /// Scale-invariant in the weights (R3) and equal to the centroid of the
+  /// merged value multiset (R4).
+  [[nodiscard]] static Summary merge_set(
+      const std::vector<core::WeightedSummary<Summary>>& parts);
+
+  /// dS: Euclidean distance between centroids.
+  [[nodiscard]] static double distance(const Summary& a, const Summary& b) {
+    return linalg::distance2(a, b);
+  }
+
+  /// The paper's f applied to a mixture-space vector: the centroid of the
+  /// weighted input values. Used by tests/metrics to verify Lemma 1.
+  [[nodiscard]] static Summary summarize_mixture(
+      const std::vector<Value>& inputs, const linalg::Vector& aux);
+
+  /// Approximate equality of summaries, for auditing.
+  [[nodiscard]] static bool approx_equal(const Summary& a, const Summary& b,
+                                         double tol);
+};
+
+}  // namespace ddc::summaries

@@ -1,0 +1,64 @@
+#include <ddc/summaries/gaussian_summary.hpp>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::summaries {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+
+GaussianPolicy::Summary GaussianPolicy::merge_set(
+    const std::vector<core::WeightedSummary<Summary>>& parts) {
+  DDC_EXPECTS(!parts.empty());
+  std::vector<stats::WeightedGaussian> weighted;
+  weighted.reserve(parts.size());
+  for (const auto& p : parts) {
+    DDC_EXPECTS(p.weight > 0.0);
+    weighted.push_back({p.weight, p.summary});
+  }
+  return stats::moment_match(weighted);
+}
+
+GaussianPolicy::Summary GaussianPolicy::summarize_mixture(
+    const std::vector<Value>& inputs, const Vector& aux) {
+  DDC_EXPECTS(!inputs.empty());
+  DDC_EXPECTS(aux.dim() == inputs.size());
+  double total = 0.0;
+  Vector mean(inputs.front().dim());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    DDC_EXPECTS(aux[i] >= 0.0);
+    total += aux[i];
+    mean += aux[i] * inputs[i];
+  }
+  DDC_EXPECTS(total > 0.0);
+  mean /= total;
+  Matrix cov(mean.dim(), mean.dim());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (aux[i] == 0.0) continue;
+    const Vector d = inputs[i] - mean;
+    cov += (aux[i] / total) * linalg::outer(d, d);
+  }
+  return Gaussian(std::move(mean), linalg::symmetrize(cov));
+}
+
+bool GaussianPolicy::approx_equal(const Summary& a, const Summary& b,
+                                  double tol) {
+  if (a.dim() != b.dim()) return false;
+  return linalg::distance2(a.mean(), b.mean()) <= tol &&
+         linalg::max_abs(a.cov() - b.cov()) <= tol;
+}
+
+stats::GaussianMixture to_mixture(
+    const core::Classification<stats::Gaussian>& classification) {
+  DDC_EXPECTS(!classification.empty());
+  std::vector<stats::WeightedGaussian> components;
+  components.reserve(classification.size());
+  for (std::size_t i = 0; i < classification.size(); ++i) {
+    components.push_back(
+        {classification.relative_weight(i), classification[i].summary});
+  }
+  return stats::GaussianMixture(std::move(components));
+}
+
+}  // namespace ddc::summaries

@@ -1,0 +1,52 @@
+// Workload generators for every evaluation scenario in the paper.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/mixture.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::workload {
+
+/// Figure 2 ground truth: three Gaussians in R², shaped like the paper's
+/// "sensors on a fence by the woods, right side close to a fire" scenario
+/// — x is position along the fence, y is temperature; the rightmost
+/// component is hotter with larger temperature variance.
+[[nodiscard]] stats::GaussianMixture fig2_mixture();
+
+/// Samples `n` input values (one per node) from a ground-truth mixture.
+[[nodiscard]] std::vector<linalg::Vector> sample_inputs(
+    const stats::GaussianMixture& truth, std::size_t n, stats::Rng& rng);
+
+/// A Figure 3 / Figure 4 workload instance.
+struct OutlierScenario {
+  /// One input value per node; good values first, then outliers.
+  std::vector<linalg::Vector> inputs;
+  /// Ground-truth outlier flags by the paper's f_min rule (density under
+  /// the standard normal below 5·10⁻⁵) — note these flags derive from the
+  /// *value*, so a tail sample of the good distribution counts as an
+  /// outlier and an outlier-distribution sample near the origin does not,
+  /// exactly as the paper discusses.
+  std::vector<bool> outlier_flags;
+  /// The good distribution N((0,0), I).
+  stats::Gaussian good;
+  /// True mean of the good distribution: (0, 0).
+  linalg::Vector true_mean;
+};
+
+/// Figure 3 workload: `n_good` samples from N((0,0), I) plus `n_outlier`
+/// samples from N((0,Δ), 0.1·I). The paper uses 950 + 50.
+[[nodiscard]] OutlierScenario outlier_scenario(double delta, stats::Rng& rng,
+                                               std::size_t n_good = 950,
+                                               std::size_t n_outlier = 50);
+
+/// The introduction's load-balancing scenario: `n` machines whose loads
+/// (in [0, 1]) cluster around `low` and `high` (half each, ±`spread`
+/// normal jitter, clamped to [0, 1]). Returns 1-D vectors.
+[[nodiscard]] std::vector<linalg::Vector> load_balancing_inputs(
+    std::size_t n, stats::Rng& rng, double low = 0.10, double high = 0.90,
+    double spread = 0.05);
+
+}  // namespace ddc::workload

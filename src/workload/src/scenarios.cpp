@@ -1,0 +1,71 @@
+#include <ddc/workload/scenarios.hpp>
+
+#include <algorithm>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/metrics/outlier_metrics.hpp>
+
+namespace ddc::workload {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using stats::GaussianMixture;
+
+GaussianMixture fig2_mixture() {
+  // Positions x ∈ [0, 10] along the fence; temperatures y in °C.
+  // Left and middle sections read ambient temperature; the right section
+  // is near the fire — hotter, with larger and correlated variance.
+  // The paper's Fig. 2a shows three visibly distinct ellipses; these
+  // parameters reproduce that regime (components separated by several
+  // standard deviations in at least one coordinate).
+  GaussianMixture truth;
+  truth.add({0.40, Gaussian(Vector{1.5, 15.0},
+                            Matrix{{0.5, 0.1}, {0.1, 1.0}})});
+  truth.add({0.35, Gaussian(Vector{5.5, 21.0},
+                            Matrix{{0.5, -0.1}, {-0.1, 1.2}})});
+  truth.add({0.25, Gaussian(Vector{8.5, 32.0},
+                            Matrix{{0.4, 0.6}, {0.6, 9.0}})});
+  return truth;
+}
+
+std::vector<Vector> sample_inputs(const GaussianMixture& truth, std::size_t n,
+                                  stats::Rng& rng) {
+  DDC_EXPECTS(n >= 1);
+  return truth.sample(rng, n);
+}
+
+OutlierScenario outlier_scenario(double delta, stats::Rng& rng,
+                                 std::size_t n_good, std::size_t n_outlier) {
+  DDC_EXPECTS(n_good >= 1);
+  OutlierScenario scenario{
+      {}, {}, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2)), Vector{0.0, 0.0}};
+  scenario.inputs.reserve(n_good + n_outlier);
+  for (std::size_t i = 0; i < n_good; ++i) {
+    scenario.inputs.push_back(scenario.good.sample(rng));
+  }
+  const Gaussian outlier_dist(Vector{0.0, delta},
+                              Matrix::identity(2) * 0.1);
+  for (std::size_t i = 0; i < n_outlier; ++i) {
+    scenario.inputs.push_back(outlier_dist.sample(rng));
+  }
+  scenario.outlier_flags =
+      metrics::flag_outliers(scenario.inputs, scenario.good);
+  return scenario;
+}
+
+std::vector<Vector> load_balancing_inputs(std::size_t n, stats::Rng& rng,
+                                          double low, double high,
+                                          double spread) {
+  DDC_EXPECTS(n >= 2);
+  std::vector<Vector> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double center = i < n / 2 ? low : high;
+    const double load = std::clamp(rng.normal(center, spread), 0.0, 1.0);
+    inputs.push_back(Vector{load});
+  }
+  return inputs;
+}
+
+}  // namespace ddc::workload

@@ -1,0 +1,97 @@
+#include <ddc/cli/flags.hpp>
+
+#include <gtest/gtest.h>
+
+namespace ddc::cli {
+namespace {
+
+Flags make_flags() {
+  Flags flags("tool", "a test tool");
+  flags.declare("nodes", "number of nodes", "100");
+  flags.declare("rate", "a real-valued rate", "0.5");
+  flags.declare("name", "a string", "default");
+  flags.declare_bool("verbose", "chatty output");
+  return flags;
+}
+
+TEST(Flags, DefaultsApplyWhenUnset) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(flags.parse({}));
+  EXPECT_EQ(flags.get_int("nodes"), 100);
+  EXPECT_EQ(flags.get_double("rate"), 0.5);
+  EXPECT_EQ(flags.get("name"), "default");
+  EXPECT_FALSE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.is_set("nodes"));
+}
+
+TEST(Flags, SpaceSeparatedValues) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(flags.parse({"--nodes", "42", "--name", "xyz"}));
+  EXPECT_EQ(flags.get_int("nodes"), 42);
+  EXPECT_EQ(flags.get("name"), "xyz");
+  EXPECT_TRUE(flags.is_set("nodes"));
+}
+
+TEST(Flags, EqualsSeparatedValues) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(flags.parse({"--rate=0.25", "--verbose=true"}));
+  EXPECT_EQ(flags.get_double("rate"), 0.25);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, BareBooleanFlag) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(flags.parse({"--verbose"}));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(Flags, HelpShortCircuits) {
+  Flags flags = make_flags();
+  EXPECT_FALSE(flags.parse({"--help"}));
+  EXPECT_FALSE(flags.parse({"-h"}));
+  EXPECT_NE(flags.help_text().find("--nodes"), std::string::npos);
+  EXPECT_NE(flags.help_text().find("number of nodes"), std::string::npos);
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  Flags flags = make_flags();
+  EXPECT_THROW((void)flags.parse({"--bogus", "1"}), FlagError);
+}
+
+TEST(Flags, MissingValueRejected) {
+  Flags flags = make_flags();
+  EXPECT_THROW((void)flags.parse({"--nodes"}), FlagError);
+}
+
+TEST(Flags, PositionalArgumentsRejected) {
+  Flags flags = make_flags();
+  EXPECT_THROW((void)flags.parse({"stray"}), FlagError);
+}
+
+TEST(Flags, MalformedNumbersRejected) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(flags.parse({"--nodes", "12abc"}));
+  EXPECT_THROW((void)flags.get_int("nodes"), FlagError);
+  Flags flags2 = make_flags();
+  EXPECT_TRUE(flags2.parse({"--rate", "x"}));
+  EXPECT_THROW((void)flags2.get_double("rate"), FlagError);
+}
+
+TEST(Flags, BooleanValueValidated) {
+  Flags flags = make_flags();
+  EXPECT_THROW((void)flags.parse({"--verbose=yes"}), FlagError);
+}
+
+TEST(Flags, DuplicateDeclarationRejected) {
+  Flags flags = make_flags();
+  EXPECT_THROW(flags.declare("nodes", "again", "1"), ContractViolation);
+}
+
+TEST(Flags, LastSettingWins) {
+  Flags flags = make_flags();
+  EXPECT_TRUE(flags.parse({"--nodes", "1", "--nodes", "2"}));
+  EXPECT_EQ(flags.get_int("nodes"), 2);
+}
+
+}  // namespace
+}  // namespace ddc::cli

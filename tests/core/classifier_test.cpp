@@ -1,0 +1,259 @@
+// Engine-mechanics tests for GenericClassifier, using a minimal 1-D mean
+// summary policy and a scriptable partition policy so every engine
+// behaviour can be exercised in isolation from the real instantiations.
+#include <ddc/core/classifier.hpp>
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/core/policy.hpp>
+
+namespace ddc::core {
+namespace {
+
+/// Minimal summary policy: a collection of 1-D values summarized by its
+/// mean.
+struct MeanPolicy {
+  using Value = double;
+  using Summary = double;
+
+  static Summary val_to_summary(const Value& v) { return v; }
+
+  static Summary merge_set(const std::vector<WeightedSummary<Summary>>& parts) {
+    double total = 0.0;
+    double acc = 0.0;
+    for (const auto& p : parts) {
+      total += p.weight;
+      acc += p.weight * p.summary;
+    }
+    return acc / total;
+  }
+
+  static double distance(const Summary& a, const Summary& b) {
+    return std::abs(a - b);
+  }
+};
+
+static_assert(SummaryPolicy<MeanPolicy>);
+
+/// Partition policy whose next grouping can be scripted by the test; falls
+/// back to "merge everything into one group" when nothing is scripted.
+/// State is shared through a shared_ptr so the test keeps control after
+/// the policy is moved into the classifier.
+struct ScriptedPartition {
+  std::shared_ptr<std::vector<Grouping>> script =
+      std::make_shared<std::vector<Grouping>>();
+
+  Grouping partition(const std::vector<WeightedSummary<double>>& collections,
+                     std::size_t /*k*/) {
+    if (!script->empty()) {
+      Grouping g = script->front();
+      script->erase(script->begin());
+      return g;
+    }
+    Grouping all(1);
+    for (std::size_t i = 0; i < collections.size(); ++i) all[0].push_back(i);
+    return all;
+  }
+};
+
+static_assert(PartitionPolicy<ScriptedPartition, double>);
+
+using TestClassifier = GenericClassifier<MeanPolicy, ScriptedPartition>;
+
+ClassifierOptions options_with(std::size_t k, std::int64_t quanta,
+                               bool track_aux = false, std::size_t n = 0,
+                               std::size_t index = 0) {
+  ClassifierOptions o;
+  o.k = k;
+  o.quanta_per_unit = quanta;
+  o.track_aux = track_aux;
+  o.num_nodes = n;
+  o.node_index = index;
+  return o;
+}
+
+TEST(GenericClassifier, InitialStateIsOneWholeCollection) {
+  TestClassifier c(3.5, ScriptedPartition{}, options_with(2, 1000));
+  ASSERT_EQ(c.classification().size(), 1u);
+  EXPECT_EQ(c.classification()[0].summary, 3.5);
+  EXPECT_EQ(c.classification()[0].weight.quanta(), 1000);
+}
+
+TEST(GenericClassifier, OptionValidation) {
+  EXPECT_THROW(TestClassifier(0.0, ScriptedPartition{}, options_with(0, 1000)),
+               ContractViolation);
+  EXPECT_THROW(TestClassifier(0.0, ScriptedPartition{}, options_with(2, 0)),
+               ContractViolation);
+  // track_aux without node count:
+  EXPECT_THROW(
+      TestClassifier(0.0, ScriptedPartition{}, options_with(2, 1000, true, 0)),
+      ContractViolation);
+  // node_index out of range:
+  EXPECT_THROW(TestClassifier(0.0, ScriptedPartition{},
+                              options_with(2, 1000, true, 4, 4)),
+               ContractViolation);
+}
+
+TEST(GenericClassifier, SplitHalvesWeightExactly) {
+  TestClassifier c(1.0, ScriptedPartition{}, options_with(2, 1000));
+  const auto msg = c.split();
+  ASSERT_EQ(msg.size(), 1u);
+  EXPECT_EQ(msg[0].weight.quanta(), 500);
+  EXPECT_EQ(c.classification()[0].weight.quanta(), 500);
+  EXPECT_EQ(msg[0].summary, 1.0);
+}
+
+TEST(GenericClassifier, SplitOfOddWeightKeepsLargerHalf) {
+  TestClassifier c(1.0, ScriptedPartition{}, options_with(2, 7));
+  const auto msg = c.split();
+  EXPECT_EQ(c.classification()[0].weight.quanta(), 4);
+  EXPECT_EQ(msg[0].weight.quanta(), 3);
+}
+
+TEST(GenericClassifier, SingleQuantumCollectionSendsNothing) {
+  TestClassifier c(1.0, ScriptedPartition{}, options_with(2, 1));
+  const auto msg = c.split();
+  EXPECT_TRUE(msg.empty());
+  EXPECT_EQ(c.classification()[0].weight.quanta(), 1);
+}
+
+TEST(GenericClassifier, RepeatedSplitsNeverLoseWeight) {
+  TestClassifier c(1.0, ScriptedPartition{}, options_with(2, 999));
+  std::int64_t sent = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto msg = c.split();
+    for (const auto& col : msg) sent += col.weight.quanta();
+  }
+  EXPECT_EQ(sent + c.classification().total_weight().quanta(), 999);
+}
+
+TEST(GenericClassifier, ReceiveMergesIntoWeightedMean) {
+  TestClassifier a(0.0, ScriptedPartition{}, options_with(2, 1000));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(2, 1000));
+  auto msg = b.split();  // 500 quanta of summary 6.0
+  a.receive(std::move(msg));
+  ASSERT_EQ(a.classification().size(), 1u);
+  // Merged mean: (1000·0 + 500·6) / 1500 = 2.
+  EXPECT_NEAR(a.classification()[0].summary, 2.0, 1e-12);
+  EXPECT_EQ(a.classification()[0].weight.quanta(), 1500);
+}
+
+TEST(GenericClassifier, ScriptedPartitionKeepsCollectionsSeparate) {
+  ScriptedPartition p;
+  p.script->push_back({{0}, {1}});  // keep both
+  TestClassifier a(0.0, p, options_with(2, 1000));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(2, 1000));
+  a.receive(b.split());
+  ASSERT_EQ(a.classification().size(), 2u);
+  // Singleton groups keep their summaries bit-exact.
+  EXPECT_EQ(a.classification()[0].summary, 0.0);
+  EXPECT_EQ(a.classification()[1].summary, 6.0);
+}
+
+TEST(GenericClassifier, InvalidGroupingFromPolicyIsRejected) {
+  ScriptedPartition p;
+  p.script->push_back({{0}});  // misses index 1
+  TestClassifier a(0.0, p, options_with(2, 1000));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(2, 1000));
+  EXPECT_THROW(a.receive(b.split()), ContractViolation);
+}
+
+TEST(GenericClassifier, OverwideGroupingFromPolicyIsRejected) {
+  ScriptedPartition p;
+  p.script->push_back({{0}, {1}});  // 2 groups but k = 1
+  TestClassifier a(0.0, p, options_with(1, 1000));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(1, 1000));
+  EXPECT_THROW(a.receive(b.split()), ContractViolation);
+}
+
+TEST(GenericClassifier, QuantumSingletonGroupIsRehomedToNearest) {
+  // Node a holds two collections (via a scripted keep-separate receive),
+  // then receives a 1-quantum collection that the policy tries to leave
+  // alone; the engine must merge it with the *nearest* group (summary 6).
+  ScriptedPartition p;
+  p.script->push_back({{0}, {1}});        // first receive: keep 0 and 6 apart
+  p.script->push_back({{0}, {1}, {2}});   // second: try to isolate the quantum
+  TestClassifier a(0.0, p, options_with(3, 1000));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(3, 1000));
+  a.receive(b.split());
+
+  // Hand-craft a 1-quantum incoming collection with summary 5.0.
+  Classification<double> tiny;
+  tiny.add(Collection<double>{5.0, Weight::from_quanta(1), {}});
+  a.receive(std::move(tiny));
+
+  ASSERT_EQ(a.classification().size(), 2u);
+  EXPECT_EQ(a.stats().singleton_rehomes, 1u);
+  // The 6.0 group absorbed the quantum: new mean slightly below 6.
+  const double merged = (500.0 * 6.0 + 1.0 * 5.0) / 501.0;
+  bool found = false;
+  for (const auto& col : a.classification()) {
+    if (std::abs(col.summary - merged) < 1e-12) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GenericClassifier, QuantumSingletonAllowedWhenItIsTheOnlyGroup) {
+  // With a single group there is nowhere to re-home; the engine must not
+  // loop or throw.
+  TestClassifier a(0.0, ScriptedPartition{}, options_with(2, 1000));
+  Classification<double> tiny;
+  tiny.add(Collection<double>{5.0, Weight::from_quanta(1), {}});
+  EXPECT_NO_THROW(a.receive(std::move(tiny)));
+  EXPECT_EQ(a.classification().size(), 1u);
+}
+
+TEST(GenericClassifier, AuxVectorStartsAsUnitVector) {
+  TestClassifier c(2.0, ScriptedPartition{}, options_with(2, 1000, true, 3, 1));
+  const auto& aux = c.classification()[0].aux;
+  ASSERT_TRUE(aux.has_value());
+  EXPECT_EQ(*aux, linalg::unit_vector(3, 1));
+}
+
+TEST(GenericClassifier, AuxVectorTracksSplitRatiosExactly) {
+  TestClassifier c(2.0, ScriptedPartition{}, options_with(2, 7, true, 2, 0));
+  const auto msg = c.split();  // keeps 4/7, sends 3/7
+  EXPECT_NEAR((*c.classification()[0].aux)[0], 4.0 / 7.0, 1e-15);
+  EXPECT_NEAR((*msg[0].aux)[0], 3.0 / 7.0, 1e-15);
+}
+
+TEST(GenericClassifier, AuxVectorAddsOnMerge) {
+  TestClassifier a(0.0, ScriptedPartition{}, options_with(2, 1000, true, 2, 0));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(2, 1000, true, 2, 1));
+  a.receive(b.split());
+  const auto& aux = *a.classification()[0].aux;
+  EXPECT_NEAR(aux[0], 1.0, 1e-15);
+  EXPECT_NEAR(aux[1], 0.5, 1e-15);
+  // Lemma 1, Eq. 2: ‖aux‖₁ = weight (in units of whole values).
+  EXPECT_NEAR(linalg::norm1(aux),
+              a.classification()[0].weight.value(1000), 1e-12);
+}
+
+TEST(GenericClassifier, StatsCountOperations) {
+  TestClassifier a(0.0, ScriptedPartition{}, options_with(2, 1000));
+  TestClassifier b(6.0, ScriptedPartition{}, options_with(2, 1000));
+  (void)a.split();
+  a.receive(b.split());
+  EXPECT_EQ(a.stats().splits, 1u);
+  EXPECT_EQ(a.stats().receives, 1u);
+  EXPECT_EQ(a.stats().collections_merged, 2u);
+}
+
+TEST(IsValidGrouping, AcceptsExactPartitions) {
+  EXPECT_TRUE(is_valid_grouping({{0, 2}, {1}}, 3));
+  EXPECT_TRUE(is_valid_grouping({{0}}, 1));
+}
+
+TEST(IsValidGrouping, RejectsBadShapes) {
+  EXPECT_FALSE(is_valid_grouping({{0}, {}}, 1));       // empty group
+  EXPECT_FALSE(is_valid_grouping({{0, 0}}, 1));        // duplicate
+  EXPECT_FALSE(is_valid_grouping({{0, 1}}, 3));        // missing index
+  EXPECT_FALSE(is_valid_grouping({{0, 3}}, 2));        // out of range
+}
+
+}  // namespace
+}  // namespace ddc::core

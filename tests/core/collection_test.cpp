@@ -1,0 +1,91 @@
+#include <ddc/core/collection.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::core {
+namespace {
+
+Collection<double> make(double summary, std::int64_t quanta) {
+  return Collection<double>{summary, Weight::from_quanta(quanta), {}};
+}
+
+TEST(Classification, StartsEmpty) {
+  const Classification<double> c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_TRUE(c.total_weight().is_zero());
+}
+
+TEST(Classification, AddAndAccess) {
+  Classification<double> c;
+  c.add(make(1.5, 10));
+  c.add(make(2.5, 30));
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0].summary, 1.5);
+  EXPECT_EQ(c[1].weight.quanta(), 30);
+  EXPECT_THROW((void)c[2], ContractViolation);
+}
+
+TEST(Classification, RejectsZeroWeightCollections) {
+  Classification<double> c;
+  EXPECT_THROW(c.add(make(1.0, 0)), ContractViolation);
+  EXPECT_THROW(
+      (Classification<double>{std::vector<Collection<double>>{make(1.0, 0)}}),
+      ContractViolation);
+}
+
+TEST(Classification, TotalAndRelativeWeights) {
+  Classification<double> c;
+  c.add(make(0.0, 25));
+  c.add(make(1.0, 75));
+  EXPECT_EQ(c.total_weight().quanta(), 100);
+  EXPECT_DOUBLE_EQ(c.relative_weight(0), 0.25);
+  EXPECT_DOUBLE_EQ(c.relative_weight(1), 0.75);
+  EXPECT_THROW((void)c.relative_weight(2), ContractViolation);
+}
+
+TEST(Classification, RelativeWeightOnEmptyThrows) {
+  const Classification<double> c;
+  EXPECT_THROW((void)c.relative_weight(0), ContractViolation);
+}
+
+TEST(Classification, AbsorbMovesEverythingAndEmptiesSource) {
+  Classification<double> a;
+  a.add(make(1.0, 10));
+  Classification<double> b;
+  b.add(make(2.0, 20));
+  b.add(make(3.0, 30));
+  a.absorb(std::move(b));
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.total_weight().quanta(), 60);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): documented
+}
+
+TEST(Classification, RangeForIteration) {
+  Classification<double> c;
+  c.add(make(1.0, 1));
+  c.add(make(2.0, 1));
+  double sum = 0.0;
+  for (const auto& col : c) sum += col.summary;
+  EXPECT_DOUBLE_EQ(sum, 3.0);
+}
+
+TEST(Classification, AuxVectorsTravelWithCollections) {
+  Classification<double> c;
+  Collection<double> col = make(1.0, 4);
+  col.aux = linalg::Vector{0.5, 0.5};
+  c.add(std::move(col));
+  ASSERT_TRUE(c[0].aux.has_value());
+  EXPECT_EQ(*c[0].aux, (linalg::Vector{0.5, 0.5}));
+}
+
+TEST(WeightedSummary, AggregatesPlainData) {
+  const WeightedSummary<double> ws{2.5, 7.0};
+  EXPECT_EQ(ws.summary, 2.5);
+  EXPECT_EQ(ws.weight, 7.0);
+}
+
+}  // namespace
+}  // namespace ddc::core

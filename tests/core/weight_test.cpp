@@ -1,0 +1,87 @@
+#include <ddc/core/weight.hpp>
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::core {
+namespace {
+
+TEST(Weight, DefaultIsZero) {
+  const Weight w;
+  EXPECT_TRUE(w.is_zero());
+  EXPECT_FALSE(w.positive());
+  EXPECT_EQ(w.quanta(), 0);
+}
+
+TEST(Weight, FromQuantaValidation) {
+  EXPECT_EQ(Weight::from_quanta(5).quanta(), 5);
+  EXPECT_THROW((void)Weight::from_quanta(-1), ContractViolation);
+}
+
+TEST(Weight, OneUsesResolution) {
+  EXPECT_EQ(Weight::one(1024).quanta(), 1024);
+  EXPECT_THROW((void)Weight::one(0), ContractViolation);
+}
+
+TEST(Weight, HalfOfEvenSplitsEvenly) {
+  const Weight w = Weight::from_quanta(10);
+  EXPECT_EQ(w.half().quanta(), 5);
+  EXPECT_EQ(w.remainder_after_half().quanta(), 5);
+}
+
+TEST(Weight, HalfOfOddRoundsUpAndComplementRestores) {
+  const Weight w = Weight::from_quanta(7);
+  EXPECT_EQ(w.half().quanta(), 4);
+  EXPECT_EQ(w.remainder_after_half().quanta(), 3);
+  EXPECT_EQ(w.half() + w.remainder_after_half(), w);
+}
+
+TEST(Weight, HalfConservationForAllSmallValues) {
+  // Conservation of weight under splitting, exhaustively near the
+  // quantization floor where it matters most.
+  for (std::int64_t q = 0; q <= 1000; ++q) {
+    const Weight w = Weight::from_quanta(q);
+    EXPECT_EQ((w.half() + w.remainder_after_half()).quanta(), q);
+    // half() is the multiple of q closest to w/2: never off by more than
+    // half a quantum.
+    EXPECT_LE(std::abs(2 * w.half().quanta() - q), 1);
+  }
+}
+
+TEST(Weight, SingleQuantumCannotBeSplit) {
+  const Weight w = Weight::from_quanta(1);
+  EXPECT_TRUE(w.is_single_quantum());
+  EXPECT_EQ(w.half().quanta(), 1);
+  EXPECT_TRUE(w.remainder_after_half().is_zero());
+}
+
+TEST(Weight, ValueScalesByResolution) {
+  EXPECT_DOUBLE_EQ(Weight::from_quanta(512).value(1024), 0.5);
+}
+
+TEST(Weight, ArithmeticAndComparison) {
+  const Weight a = Weight::from_quanta(3);
+  const Weight b = Weight::from_quanta(5);
+  EXPECT_EQ((a + b).quanta(), 8);
+  EXPECT_EQ((b - a).quanta(), 2);
+  EXPECT_LT(a, b);
+  EXPECT_GE(b, a);
+  EXPECT_EQ(a, Weight::from_quanta(3));
+}
+
+TEST(Weight, SubtractionCannotGoNegative) {
+  Weight a = Weight::from_quanta(3);
+  EXPECT_THROW(a -= Weight::from_quanta(4), ContractViolation);
+}
+
+TEST(Weight, StreamOutput) {
+  std::ostringstream os;
+  os << Weight::from_quanta(42);
+  EXPECT_EQ(os.str(), "42q");
+}
+
+}  // namespace
+}  // namespace ddc::core

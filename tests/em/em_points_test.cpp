@@ -1,0 +1,146 @@
+#include <ddc/em/em_points.hpp>
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::em {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using stats::GaussianMixture;
+using stats::WeightedValue;
+
+GaussianMixture truth_two_components() {
+  GaussianMixture m;
+  m.add({0.6, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2) * 0.5)});
+  m.add({0.4, Gaussian(Vector{6.0, -3.0}, Matrix{{1.0, 0.3}, {0.3, 0.5}})});
+  return m;
+}
+
+std::vector<WeightedValue> sample_from(const GaussianMixture& m, std::size_t n,
+                                       stats::Rng& rng) {
+  std::vector<WeightedValue> sample;
+  sample.reserve(n);
+  for (const auto& v : m.sample(rng, n)) sample.push_back({v, 1.0});
+  return sample;
+}
+
+TEST(FitGmm, RecoversWellSeparatedComponents) {
+  stats::Rng rng(61);
+  const GaussianMixture truth = truth_two_components();
+  const auto sample = sample_from(truth, 2000, rng);
+  const EmResult result = fit_gmm(sample, 2, rng);
+  ASSERT_EQ(result.mixture.size(), 2u);
+
+  // Match components to truth by mean proximity.
+  for (std::size_t t = 0; t < truth.size(); ++t) {
+    double best = 1e9;
+    std::size_t match = 0;
+    for (std::size_t e = 0; e < 2; ++e) {
+      const double d = linalg::distance2(truth[t].gaussian.mean(),
+                                         result.mixture[e].gaussian.mean());
+      if (d < best) {
+        best = d;
+        match = e;
+      }
+    }
+    EXPECT_LT(best, 0.2) << "component " << t;
+    EXPECT_NEAR(result.mixture[match].weight, truth[t].weight, 0.05);
+    EXPECT_LT(linalg::max_abs(result.mixture[match].gaussian.cov() -
+                              truth[t].gaussian.cov()),
+              0.3);
+  }
+}
+
+TEST(FitGmm, SingleComponentMatchesSampleMoments) {
+  stats::Rng rng(62);
+  const auto sample = sample_from(truth_two_components(), 1500, rng);
+  const EmResult result = fit_gmm(sample, 1, rng);
+  ASSERT_EQ(result.mixture.size(), 1u);
+  EXPECT_LT(linalg::distance2(result.mixture[0].gaussian.mean(),
+                              stats::weighted_mean(sample)),
+            1e-6);
+}
+
+TEST(FitGmm, RejectsEmptySample) {
+  stats::Rng rng(63);
+  EXPECT_THROW((void)fit_gmm({}, 2, rng), ContractViolation);
+}
+
+TEST(EmStep, LikelihoodIsMonotone) {
+  stats::Rng rng(64);
+  const auto sample = sample_from(truth_two_components(), 500, rng);
+  // Deliberately poor initial model.
+  GaussianMixture model;
+  model.add({0.5, Gaussian(Vector{-5.0, 5.0}, Matrix::identity(2) * 4.0)});
+  model.add({0.5, Gaussian(Vector{10.0, 10.0}, Matrix::identity(2) * 4.0)});
+
+  double prev = -1e300;
+  for (int iter = 0; iter < 25; ++iter) {
+    auto [next, ll] = em_step(sample, model, 1e-6);
+    EXPECT_GE(ll, prev - 1e-7) << "iteration " << iter;
+    prev = ll;
+    model = std::move(next);
+  }
+}
+
+TEST(EmStep, WeightsRemainNormalized) {
+  stats::Rng rng(65);
+  const auto sample = sample_from(truth_two_components(), 300, rng);
+  GaussianMixture model;
+  model.add({0.5, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2))});
+  model.add({0.5, Gaussian(Vector{5.0, -2.0}, Matrix::identity(2))});
+  const auto [next, ll] = em_step(sample, model, 1e-6);
+  (void)ll;
+  EXPECT_NEAR(next.total_weight(), 1.0, 1e-9);
+}
+
+TEST(EmStep, CovarianceFloorPreventsCollapse) {
+  // All mass on two identical points: without a floor the covariance would
+  // collapse to zero and the next E step would blow up.
+  const std::vector<WeightedValue> sample = {{Vector{1.0, 1.0}, 1.0},
+                                             {Vector{1.0, 1.0}, 1.0}};
+  GaussianMixture model;
+  model.add({1.0, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2))});
+  const auto [next, ll] = em_step(sample, model, 1e-4);
+  (void)ll;
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_GE(next[0].gaussian.cov()(0, 0), 1e-4 - 1e-12);
+}
+
+TEST(FitGmm, WeightedSampleEquivalentToReplication) {
+  stats::Rng rng(66);
+  std::vector<WeightedValue> weighted, replicated;
+  for (int i = 0; i < 60; ++i) {
+    const Vector v{rng.normal(), rng.normal()};
+    const Vector u{rng.normal(8.0, 1.0), rng.normal(8.0, 1.0)};
+    weighted.push_back({v, 2.0});
+    weighted.push_back({u, 1.0});
+    replicated.push_back({v, 1.0});
+    replicated.push_back({v, 1.0});
+    replicated.push_back({u, 1.0});
+  }
+  stats::Rng rng_a(67);
+  stats::Rng rng_b(67);
+  const EmResult a = fit_gmm(weighted, 2, rng_a);
+  const EmResult b = fit_gmm(replicated, 2, rng_b);
+  ASSERT_EQ(a.mixture.size(), b.mixture.size());
+  // Same seeds + equivalent data → identical optima (means within noise).
+  for (std::size_t c = 0; c < a.mixture.size(); ++c) {
+    double best = 1e9;
+    for (std::size_t d = 0; d < b.mixture.size(); ++d) {
+      best = std::min(best,
+                      linalg::distance2(a.mixture[c].gaussian.mean(),
+                                        b.mixture[d].gaussian.mean()));
+    }
+    EXPECT_LT(best, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace ddc::em

@@ -1,0 +1,121 @@
+#include <ddc/em/kmeans.hpp>
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/stats/mixture.hpp>
+
+namespace ddc::em {
+namespace {
+
+using linalg::Vector;
+using stats::WeightedValue;
+
+std::vector<WeightedValue> two_blobs(stats::Rng& rng, std::size_t per_blob) {
+  std::vector<WeightedValue> sample;
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    sample.push_back({Vector{rng.normal(0.0, 0.3), rng.normal(0.0, 0.3)}, 1.0});
+    sample.push_back(
+        {Vector{rng.normal(10.0, 0.3), rng.normal(10.0, 0.3)}, 1.0});
+  }
+  return sample;
+}
+
+TEST(KMeansPlusPlus, ReturnsRequestedNumberOfDistinctSeeds) {
+  stats::Rng rng(51);
+  const auto sample = two_blobs(rng, 50);
+  const auto seeds = kmeans_plus_plus_seeds(sample, 4, rng);
+  EXPECT_EQ(seeds.size(), 4u);
+}
+
+TEST(KMeansPlusPlus, CapsAtDistinctPointCount) {
+  stats::Rng rng(52);
+  const std::vector<WeightedValue> sample = {{Vector{1.0}, 1.0},
+                                             {Vector{1.0}, 1.0}};
+  // Only one distinct location: seeding must stop early, not loop.
+  const auto seeds = kmeans_plus_plus_seeds(sample, 5, rng);
+  EXPECT_LE(seeds.size(), 2u);
+  EXPECT_GE(seeds.size(), 1u);
+}
+
+TEST(KMeansPlusPlus, SpreadsSeedsAcrossClusters) {
+  stats::Rng rng(53);
+  const auto sample = two_blobs(rng, 100);
+  const auto seeds = kmeans_plus_plus_seeds(sample, 2, rng);
+  ASSERT_EQ(seeds.size(), 2u);
+  // One seed per blob with overwhelming probability.
+  EXPECT_GT(linalg::distance2(seeds[0], seeds[1]), 5.0);
+}
+
+TEST(KMeans, SeparatesTwoBlobs) {
+  stats::Rng rng(54);
+  const auto sample = two_blobs(rng, 100);
+  const KMeansResult result = kmeans(sample, 2, rng);
+  ASSERT_EQ(result.centers.size(), 2u);
+  std::vector<Vector> sorted = result.centers;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Vector& a, const Vector& b) { return a[0] < b[0]; });
+  EXPECT_LT(linalg::distance2(sorted[0], Vector{0.0, 0.0}), 0.5);
+  EXPECT_LT(linalg::distance2(sorted[1], Vector{10.0, 10.0}), 0.5);
+}
+
+TEST(KMeans, AssignmentIsConsistentWithCenters) {
+  stats::Rng rng(55);
+  const auto sample = two_blobs(rng, 50);
+  const KMeansResult result = kmeans(sample, 2, rng);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    const std::size_t assigned = result.assignment[i];
+    for (std::size_t c = 0; c < result.centers.size(); ++c) {
+      EXPECT_LE(linalg::distance2(sample[i].value, result.centers[assigned]),
+                linalg::distance2(sample[i].value, result.centers[c]) + 1e-9);
+    }
+  }
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  stats::Rng rng(56);
+  const auto sample = two_blobs(rng, 100);
+  const double inertia1 = kmeans(sample, 1, rng).inertia;
+  const double inertia2 = kmeans(sample, 2, rng).inertia;
+  EXPECT_LT(inertia2, inertia1 * 0.1);
+}
+
+TEST(KMeans, WeightsBiasCentroids) {
+  // One heavy point at 0, one light at 10; with k = 1 the single centroid
+  // must land near the heavy point.
+  stats::Rng rng(57);
+  const std::vector<WeightedValue> sample = {{Vector{0.0}, 9.0},
+                                             {Vector{10.0}, 1.0}};
+  const KMeansResult result = kmeans(sample, 1, rng);
+  ASSERT_EQ(result.centers.size(), 1u);
+  EXPECT_NEAR(result.centers[0][0], 1.0, 1e-9);
+}
+
+TEST(KMeans, KOneEqualsWeightedMean) {
+  stats::Rng rng(58);
+  const auto sample = two_blobs(rng, 30);
+  const KMeansResult result = kmeans(sample, 1, rng);
+  EXPECT_LT(linalg::distance2(result.centers[0], stats::weighted_mean(sample)),
+            1e-9);
+}
+
+TEST(KMeans, RejectsEmptySample) {
+  stats::Rng rng(59);
+  EXPECT_THROW((void)kmeans({}, 2, rng), ContractViolation);
+}
+
+TEST(Lloyd, EmptyClustersAreCompacted) {
+  stats::Rng rng(60);
+  // Three seeds but only two distinct points: at least one cluster dies.
+  const std::vector<WeightedValue> sample = {{Vector{0.0}, 1.0},
+                                             {Vector{10.0}, 1.0}};
+  const KMeansResult result =
+      lloyd(sample, {Vector{0.0}, Vector{10.0}, Vector{100.0}});
+  EXPECT_EQ(result.centers.size(), 2u);
+  for (const std::size_t a : result.assignment) EXPECT_LT(a, 2u);
+}
+
+}  // namespace
+}  // namespace ddc::em

@@ -1,0 +1,172 @@
+#include <ddc/em/mixture_reduction.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/core/policy.hpp>
+
+namespace ddc::em {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using stats::GaussianMixture;
+
+/// Six components forming two obvious clusters around x = 0 and x = 20.
+GaussianMixture two_cluster_mixture() {
+  GaussianMixture m;
+  m.add({1.0, Gaussian(Vector{-0.5, 0.0}, Matrix::identity(2) * 0.4)});
+  m.add({2.0, Gaussian(Vector{0.0, 0.3}, Matrix::identity(2) * 0.5)});
+  m.add({1.0, Gaussian(Vector{0.4, -0.2}, Matrix::identity(2) * 0.3)});
+  m.add({1.5, Gaussian(Vector{20.0, 0.1}, Matrix::identity(2) * 0.4)});
+  m.add({1.0, Gaussian(Vector{19.5, -0.3}, Matrix::identity(2) * 0.6)});
+  m.add({0.5, Gaussian(Vector{20.5, 0.2}, Matrix::identity(2) * 0.2)});
+  return m;
+}
+
+void expect_valid_reduction(const ReductionResult& r, std::size_t input_size,
+                            std::size_t k) {
+  EXPECT_LE(r.mixture.size(), k);
+  EXPECT_EQ(r.mixture.size(), r.groups.size());
+  EXPECT_TRUE(core::is_valid_grouping(r.groups, input_size));
+}
+
+void expect_weight_conserved(const GaussianMixture& input,
+                             const ReductionResult& r) {
+  EXPECT_NEAR(r.mixture.total_weight(), input.total_weight(), 1e-9);
+}
+
+TEST(ReduceEm, PassThroughWhenSmallEnough) {
+  stats::Rng rng(71);
+  const GaussianMixture input = two_cluster_mixture();
+  const ReductionResult r = reduce_em(input, 10, rng);
+  EXPECT_EQ(r.mixture.size(), input.size());
+  EXPECT_EQ(r.iterations, 0u);
+  expect_valid_reduction(r, input.size(), 10);
+}
+
+TEST(ReduceEm, SeparatesTwoClusters) {
+  stats::Rng rng(72);
+  const GaussianMixture input = two_cluster_mixture();
+  const ReductionResult r = reduce_em(input, 2, rng);
+  ASSERT_EQ(r.mixture.size(), 2u);
+  expect_valid_reduction(r, input.size(), 2);
+  expect_weight_conserved(input, r);
+
+  // Inputs 0–2 belong together, 3–5 together.
+  for (const auto& group : r.groups) {
+    const bool left = group.front() < 3;
+    for (const std::size_t i : group) EXPECT_EQ(i < 3, left);
+  }
+  // Merged means near 0 and 20.
+  double lo = 1e9, hi = -1e9;
+  for (std::size_t c = 0; c < 2; ++c) {
+    lo = std::min(lo, r.mixture[c].gaussian.mean()[0]);
+    hi = std::max(hi, r.mixture[c].gaussian.mean()[0]);
+  }
+  EXPECT_NEAR(lo, 0.0, 1.0);
+  EXPECT_NEAR(hi, 20.0, 1.0);
+}
+
+TEST(ReduceEm, ObjectiveIsFiniteAndIterationsBounded) {
+  stats::Rng rng(73);
+  const ReductionOptions options{.max_iterations = 5, .tol = 1e-7, .restarts = 1};
+  const ReductionResult r = reduce_em(two_cluster_mixture(), 2, rng, options);
+  EXPECT_TRUE(std::isfinite(r.objective));
+  EXPECT_LE(r.iterations, 5u);
+  EXPECT_GE(r.iterations, 1u);
+}
+
+TEST(ReduceEm, RestartsNeverHurtTheObjective) {
+  const GaussianMixture input = two_cluster_mixture();
+  stats::Rng rng1(74);
+  const double one = reduce_em(input, 2, rng1, {.restarts = 1}).objective;
+  stats::Rng rng5(74);
+  const double five = reduce_em(input, 2, rng5, {.restarts = 5}).objective;
+  EXPECT_GE(five, one - 1e-9);
+}
+
+TEST(ReduceEm, HandlesPointMassInputs) {
+  // Fresh protocol collections are point masses (zero covariance); the
+  // reduction must survive them.
+  GaussianMixture input;
+  input.add({1.0, Gaussian::point_mass(Vector{0.0, 0.0})});
+  input.add({1.0, Gaussian::point_mass(Vector{0.1, 0.0})});
+  input.add({1.0, Gaussian::point_mass(Vector{9.0, 9.0})});
+  stats::Rng rng(75);
+  const ReductionResult r = reduce_em(input, 2, rng);
+  expect_valid_reduction(r, 3, 2);
+  expect_weight_conserved(input, r);
+  // The two nearby point masses merge.
+  bool found_pair = false;
+  for (const auto& g : r.groups) {
+    if (g.size() == 2) {
+      EXPECT_TRUE((g[0] == 0 && g[1] == 1) || (g[0] == 1 && g[1] == 0));
+      found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(ReduceEm, KOneCollapsesEverything) {
+  stats::Rng rng(76);
+  const GaussianMixture input = two_cluster_mixture();
+  const ReductionResult r = reduce_em(input, 1, rng);
+  ASSERT_EQ(r.mixture.size(), 1u);
+  const Gaussian collapsed = input.collapse();
+  EXPECT_LT(linalg::distance2(r.mixture[0].gaussian.mean(), collapsed.mean()),
+            1e-9);
+  EXPECT_LT(
+      linalg::max_abs(r.mixture[0].gaussian.cov() - collapsed.cov()), 1e-9);
+}
+
+TEST(ReduceRunnalls, SeparatesTwoClusters) {
+  const GaussianMixture input = two_cluster_mixture();
+  const ReductionResult r = reduce_runnalls(input, 2);
+  ASSERT_EQ(r.mixture.size(), 2u);
+  expect_valid_reduction(r, input.size(), 2);
+  expect_weight_conserved(input, r);
+  for (const auto& group : r.groups) {
+    const bool left = group.front() < 3;
+    for (const std::size_t i : group) EXPECT_EQ(i < 3, left);
+  }
+}
+
+TEST(ReduceRunnalls, ReducesOneAtATimeToExactlyK) {
+  const GaussianMixture input = two_cluster_mixture();
+  for (std::size_t k = 1; k <= 6; ++k) {
+    const ReductionResult r = reduce_runnalls(input, k);
+    EXPECT_EQ(r.mixture.size(), std::min<std::size_t>(k, input.size()));
+  }
+}
+
+TEST(ReduceNearestMeans, MergesByMeanDistanceOnly) {
+  // A tight wide-variance component overlapping a far one: nearest-means
+  // ignores covariance, so grouping follows means strictly.
+  GaussianMixture input;
+  input.add({1.0, Gaussian(Vector{0.0}, Matrix{{100.0}})});
+  input.add({1.0, Gaussian(Vector{1.0}, Matrix{{0.01}})});
+  input.add({1.0, Gaussian(Vector{10.0}, Matrix{{0.01}})});
+  const ReductionResult r = reduce_nearest_means(input, 2);
+  ASSERT_EQ(r.groups.size(), 2u);
+  for (const auto& g : r.groups) {
+    if (g.size() == 2) {
+      // 0 and 1 merged (means 0 and 1 are nearest).
+      EXPECT_TRUE((g[0] == 0 && g[1] == 1) || (g[0] == 1 && g[1] == 0));
+    }
+  }
+}
+
+TEST(Reduction, InvalidKRejected) {
+  stats::Rng rng(77);
+  EXPECT_THROW((void)reduce_em(two_cluster_mixture(), 0, rng),
+               ContractViolation);
+  EXPECT_THROW((void)reduce_runnalls(two_cluster_mixture(), 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::em

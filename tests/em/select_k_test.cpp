@@ -1,0 +1,66 @@
+#include <ddc/em/em_points.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+namespace ddc::em {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using stats::WeightedValue;
+
+std::vector<WeightedValue> to_weighted(const std::vector<Vector>& points) {
+  std::vector<WeightedValue> out;
+  out.reserve(points.size());
+  for (const auto& p : points) out.push_back({p, 1.0});
+  return out;
+}
+
+TEST(SelectK, FindsTwoComponentsInBimodalData) {
+  stats::Rng rng(81);
+  std::vector<WeightedValue> sample;
+  for (int i = 0; i < 400; ++i) {
+    sample.push_back({Vector{rng.normal(i % 2 == 0 ? 0.0 : 12.0, 1.0)}, 1.0});
+  }
+  const SelectKResult result = select_k(sample, 5, rng);
+  EXPECT_EQ(result.best_k, 2u);
+  EXPECT_EQ(result.bic.size(), 5u);
+  EXPECT_EQ(result.mixture.size(), 2u);
+  // BIC of the winner is the minimum of the reported curve.
+  for (const double b : result.bic) EXPECT_GE(b, result.bic[1] - 1e-9);
+}
+
+TEST(SelectK, FindsThreeComponentsInTheFenceWorkload) {
+  stats::Rng rng(82);
+  const auto points =
+      workload::sample_inputs(workload::fig2_mixture(), 600, rng);
+  const SelectKResult result = select_k(to_weighted(points), 6, rng);
+  EXPECT_EQ(result.best_k, 3u);
+}
+
+TEST(SelectK, SingleClusterPrefersOneComponent) {
+  stats::Rng rng(83);
+  std::vector<WeightedValue> sample;
+  for (int i = 0; i < 300; ++i) {
+    sample.push_back({Vector{rng.normal(), rng.normal()}, 1.0});
+  }
+  const SelectKResult result = select_k(sample, 4, rng);
+  EXPECT_EQ(result.best_k, 1u);
+}
+
+TEST(SelectK, RespectsKMaxAndValidatesInput) {
+  stats::Rng rng(84);
+  std::vector<WeightedValue> sample = {{Vector{0.0}, 1.0}, {Vector{9.0}, 1.0}};
+  const SelectKResult capped = select_k(sample, 1, rng);
+  EXPECT_EQ(capped.best_k, 1u);
+  EXPECT_EQ(capped.bic.size(), 1u);
+  EXPECT_THROW((void)select_k({}, 3, rng), ContractViolation);
+  EXPECT_THROW((void)select_k(sample, 0, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::em

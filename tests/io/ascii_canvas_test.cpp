@@ -1,0 +1,94 @@
+#include <ddc/io/ascii_canvas.hpp>
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::io {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+
+TEST(AsciiCanvas, ConstructionValidation) {
+  EXPECT_THROW(AsciiCanvas(1.0, 1.0, 0.0, 1.0), ContractViolation);
+  EXPECT_THROW(AsciiCanvas(0.0, 1.0, 0.0, 1.0, 1, 10), ContractViolation);
+}
+
+TEST(AsciiCanvas, PlotsLandInTheRightCells) {
+  AsciiCanvas canvas(0.0, 10.0, 0.0, 10.0, 10, 10);
+  canvas.plot(0.01, 0.01, 'a');   // bottom-left
+  canvas.plot(9.99, 9.99, 'b');   // top-right
+  canvas.plot(5.0, 5.0, 'c');     // middle
+  EXPECT_EQ(canvas.at(0, 9), 'a');
+  EXPECT_EQ(canvas.at(9, 0), 'b');
+  EXPECT_EQ(canvas.at(5, 4), 'c');
+}
+
+TEST(AsciiCanvas, OutOfWindowPointsAreClipped) {
+  AsciiCanvas canvas(0.0, 1.0, 0.0, 1.0, 4, 4);
+  canvas.plot(-5.0, 0.5, 'z');
+  canvas.plot(0.5, 99.0, 'z');
+  std::ostringstream os;
+  canvas.render(os);
+  EXPECT_EQ(os.str().find('z'), std::string::npos);
+}
+
+TEST(AsciiCanvas, FitCoversAllPoints) {
+  const std::vector<Vector> points = {Vector{-3.0, 2.0}, Vector{7.0, -1.0},
+                                      Vector{0.0, 5.0}};
+  AsciiCanvas canvas = AsciiCanvas::fit(points, 40, 12);
+  canvas.plot_points(points, '*');
+  std::size_t stars = 0;
+  for (std::size_t r = 0; r < canvas.rows(); ++r) {
+    for (std::size_t c = 0; c < canvas.cols(); ++c) {
+      stars += canvas.at(c, r) == '*' ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(stars, 3u);
+}
+
+TEST(AsciiCanvas, FitRejectsEmptyOrNon2D) {
+  EXPECT_THROW((void)AsciiCanvas::fit({}), ContractViolation);
+  EXPECT_THROW((void)AsciiCanvas::fit({Vector{1.0}}), ContractViolation);
+}
+
+TEST(AsciiCanvas, GaussianEllipseSurroundsTheMean) {
+  AsciiCanvas canvas(-5.0, 5.0, -5.0, 5.0, 40, 20);
+  canvas.draw_gaussian(Gaussian(Vector{0.0, 0.0}, Matrix::identity(2)), 2.0,
+                       'o');
+  // Marks must appear left and right of center, none at the center itself.
+  std::size_t marks = 0;
+  for (std::size_t r = 0; r < canvas.rows(); ++r) {
+    for (std::size_t c = 0; c < canvas.cols(); ++c) {
+      marks += canvas.at(c, r) == 'o' ? 1 : 0;
+    }
+  }
+  EXPECT_GT(marks, 10u);
+  EXPECT_EQ(canvas.at(20, 10), ' ');  // center cell stays empty
+}
+
+TEST(AsciiCanvas, PointMassRendersAsSingletonX) {
+  AsciiCanvas canvas(-1.0, 1.0, -1.0, 1.0, 20, 10);
+  canvas.draw_gaussian(Gaussian::point_mass(Vector{0.0, 0.0}));
+  std::ostringstream os;
+  canvas.render(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(AsciiCanvas, RenderHasFrameAndLabels) {
+  AsciiCanvas canvas(0.0, 2.0, 0.0, 4.0, 8, 3);
+  std::ostringstream os;
+  canvas.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("+--------+"), std::string::npos);
+  EXPECT_NE(out.find("y=4"), std::string::npos);
+  EXPECT_NE(out.find("x=0"), std::string::npos);
+  EXPECT_NE(out.find("x=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddc::io

@@ -1,0 +1,68 @@
+#include <ddc/io/table.hpp>
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::io {
+namespace {
+
+TEST(Table, RequiresNonEmptyHeader) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), ContractViolation);
+}
+
+TEST(Table, AlignedOutputContainsAllCells) {
+  Table t({"name", "value"}, 2);
+  t.add_row({std::string("x"), 1.5});
+  t.add_row({std::string("long-name"), 22.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("1.50"), std::string::npos);
+  EXPECT_NE(out.find("22.00"), std::string::npos);
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, IntegerCellsPrintWithoutDecimals) {
+  Table t({"n"});
+  t.add_row({static_cast<long long>(42)});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+  EXPECT_EQ(os.str().find("42.0"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"}, 1);
+  t.add_row({std::string("x"), 2.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,2.5\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a"});
+  t.add_row({std::string("hello, \"world\"")});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a\n\"hello, \"\"world\"\"\"\n");
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.columns(), 3u);
+  t.add_row({1.0, 2.0, 3.0});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+}  // namespace
+}  // namespace ddc::io

@@ -1,0 +1,94 @@
+#include <ddc/linalg/eigen_sym.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <ddc/linalg/cholesky.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::linalg {
+namespace {
+
+Matrix random_symmetric(std::size_t n, stats::Rng& rng) {
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = r; c < n; ++c) {
+      a(r, c) = rng.normal();
+      a(c, r) = a(r, c);
+    }
+  }
+  return a;
+}
+
+TEST(EigenSym, DiagonalMatrixEigenvaluesSorted) {
+  const SymEigen e = eigen_sym(Matrix::diagonal(Vector{1.0, 5.0, 3.0}));
+  EXPECT_NEAR(e.values[0], 5.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(EigenSym, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const SymEigen e = eigen_sym(Matrix{{2.0, 1.0}, {1.0, 2.0}});
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+  // Eigenvector for 3 is (1,1)/√2 up to sign.
+  EXPECT_NEAR(std::abs(e.vectors(0, 0)), std::sqrt(0.5), 1e-10);
+  EXPECT_NEAR(e.vectors(0, 0), e.vectors(1, 0), 1e-10);
+}
+
+TEST(EigenSym, ReconstructsRandomSymmetricMatrices) {
+  stats::Rng rng(21);
+  for (std::size_t n : {2u, 3u, 5u, 7u}) {
+    const Matrix a = random_symmetric(n, rng);
+    const SymEigen e = eigen_sym(a);
+    Matrix rebuilt(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vector vi = e.vectors.col(i);
+      rebuilt += e.values[i] * outer(vi, vi);
+    }
+    EXPECT_LT(max_abs(rebuilt - a), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(EigenSym, EigenvectorsAreOrthonormal) {
+  stats::Rng rng(22);
+  const Matrix a = random_symmetric(4, rng);
+  const SymEigen e = eigen_sym(a);
+  const Matrix vtv = transpose(e.vectors) * e.vectors;
+  EXPECT_LT(max_abs(vtv - Matrix::identity(4)), 1e-10);
+}
+
+TEST(EigenSym, TraceEqualsEigenvalueSum) {
+  stats::Rng rng(23);
+  const Matrix a = random_symmetric(5, rng);
+  const SymEigen e = eigen_sym(a);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < 5; ++i) sum += e.values[i];
+  EXPECT_NEAR(sum, trace(a), 1e-10);
+}
+
+TEST(EigenSym, RejectsAsymmetricInput) {
+  EXPECT_THROW((void)eigen_sym(Matrix{{1.0, 2.0}, {0.0, 1.0}}),
+               ContractViolation);
+}
+
+TEST(ClipEigenvalues, RepairsIndefiniteMatrix) {
+  // Indefinite: eigenvalues 1 and −1.
+  const Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+  const Matrix repaired = clip_eigenvalues(a, 1e-6);
+  // Must now be PD: Cholesky succeeds.
+  EXPECT_NO_THROW(Cholesky{repaired});
+  const SymEigen e = eigen_sym(repaired);
+  EXPECT_NEAR(e.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(e.values[1], 1e-6, 1e-9);
+}
+
+TEST(ClipEigenvalues, LeavesPdMatrixUntouched) {
+  const Matrix a{{2.0, 0.5}, {0.5, 1.0}};
+  EXPECT_LT(max_abs(clip_eigenvalues(a, 1e-9) - a), 1e-10);
+}
+
+}  // namespace
+}  // namespace ddc::linalg

@@ -1,0 +1,124 @@
+#include <ddc/linalg/matrix.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::linalg {
+namespace {
+
+TEST(Matrix, ZeroConstructor) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.square());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(Matrix, NestedInitializerList) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_TRUE(m.square());
+}
+
+TEST(Matrix, RaggedInitializerListThrows) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), ContractViolation);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Diagonal) {
+  const Matrix d = Matrix::diagonal(Vector{2.0, 3.0});
+  EXPECT_EQ(d, (Matrix{{2.0, 0.0}, {0.0, 3.0}}));
+}
+
+TEST(Matrix, RowAndColumnExtraction) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  EXPECT_EQ(m.row(1), (Vector{4.0, 5.0, 6.0}));
+  EXPECT_EQ(m.col(2), (Vector{3.0, 6.0}));
+  EXPECT_THROW((void)m.row(2), ContractViolation);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 0.0}, {0.0, 1.0}};
+  const Matrix b{{0.0, 2.0}, {3.0, 0.0}};
+  EXPECT_EQ(a + b, (Matrix{{1.0, 2.0}, {3.0, 1.0}}));
+  EXPECT_EQ((a + b) - b, a);
+  EXPECT_EQ(a * 3.0, (Matrix{{3.0, 0.0}, {0.0, 3.0}}));
+  EXPECT_EQ(a / 2.0, (Matrix{{0.5, 0.0}, {0.0, 0.5}}));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a += b, ContractViolation);
+}
+
+TEST(Matrix, MatrixProduct) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  EXPECT_EQ(a * b, (Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+}
+
+TEST(Matrix, ProductShapePropagation) {
+  const Matrix a(2, 3, 1.0);
+  const Matrix b(3, 4, 1.0);
+  const Matrix c = a * b;
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_EQ(c(0, 0), 3.0);
+  EXPECT_THROW((void)(b * a), ContractViolation);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ((m * Vector{1.0, 1.0}), (Vector{3.0, 7.0}));
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = transpose(m);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(transpose(t), m);
+}
+
+TEST(Matrix, OuterProduct) {
+  const Matrix o = outer(Vector{1.0, 2.0}, Vector{3.0, 4.0});
+  EXPECT_EQ(o, (Matrix{{3.0, 4.0}, {6.0, 8.0}}));
+}
+
+TEST(Matrix, Trace) {
+  EXPECT_DOUBLE_EQ(trace(Matrix{{1.0, 9.0}, {9.0, 2.0}}), 3.0);
+  EXPECT_THROW((void)trace(Matrix(2, 3)), ContractViolation);
+}
+
+TEST(Matrix, MaxAbs) {
+  EXPECT_DOUBLE_EQ(max_abs(Matrix{{1.0, -7.0}, {3.0, 2.0}}), 7.0);
+}
+
+TEST(Matrix, SymmetryCheck) {
+  EXPECT_TRUE(is_symmetric(Matrix{{1.0, 2.0}, {2.0, 3.0}}));
+  EXPECT_FALSE(is_symmetric(Matrix{{1.0, 2.0}, {2.1, 3.0}}));
+  EXPECT_FALSE(is_symmetric(Matrix(2, 3)));
+  // Relative tolerance: large symmetric entries with tiny absolute error.
+  EXPECT_TRUE(is_symmetric(Matrix{{1.0, 1e9}, {1e9 + 1e-4, 1.0}}, 1e-12));
+}
+
+TEST(Matrix, Symmetrize) {
+  const Matrix s = symmetrize(Matrix{{1.0, 2.0}, {4.0, 3.0}});
+  EXPECT_EQ(s, (Matrix{{1.0, 3.0}, {3.0, 3.0}}));
+}
+
+}  // namespace
+}  // namespace ddc::linalg

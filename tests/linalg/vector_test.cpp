@@ -1,0 +1,127 @@
+#include <ddc/linalg/vector.hpp>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::linalg {
+namespace {
+
+TEST(Vector, DefaultConstructedIsEmpty) {
+  const Vector v;
+  EXPECT_EQ(v.dim(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Vector, ZeroConstructorFillsWithZeros) {
+  const Vector v(3);
+  EXPECT_EQ(v.dim(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(v[i], 0.0);
+}
+
+TEST(Vector, FillConstructor) {
+  const Vector v(4, 2.5);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(v[i], 2.5);
+}
+
+TEST(Vector, InitializerList) {
+  const Vector v{1.0, -2.0, 3.0};
+  EXPECT_EQ(v.dim(), 3u);
+  EXPECT_EQ(v[0], 1.0);
+  EXPECT_EQ(v[1], -2.0);
+  EXPECT_EQ(v[2], 3.0);
+}
+
+TEST(Vector, OutOfRangeAccessThrows) {
+  const Vector v{1.0};
+  EXPECT_THROW((void)v[1], ContractViolation);
+}
+
+TEST(Vector, AdditionAndSubtraction) {
+  const Vector a{1.0, 2.0};
+  const Vector b{3.0, 5.0};
+  EXPECT_EQ(a + b, (Vector{4.0, 7.0}));
+  EXPECT_EQ(b - a, (Vector{2.0, 3.0}));
+}
+
+TEST(Vector, DimensionMismatchThrows) {
+  const Vector a{1.0, 2.0};
+  const Vector b{1.0};
+  EXPECT_THROW((void)(a + b), ContractViolation);
+  EXPECT_THROW((void)dot(a, b), ContractViolation);
+  EXPECT_THROW((void)distance2(a, b), ContractViolation);
+}
+
+TEST(Vector, ScalarOperations) {
+  const Vector v{2.0, -4.0};
+  EXPECT_EQ(v * 0.5, (Vector{1.0, -2.0}));
+  EXPECT_EQ(0.5 * v, (Vector{1.0, -2.0}));
+  EXPECT_EQ(v / 2.0, (Vector{1.0, -2.0}));
+  EXPECT_EQ(-v, (Vector{-2.0, 4.0}));
+}
+
+TEST(Vector, DivisionByZeroThrows) {
+  Vector v{1.0};
+  EXPECT_THROW(v /= 0.0, ContractViolation);
+}
+
+TEST(Vector, DotProduct) {
+  EXPECT_DOUBLE_EQ(dot(Vector{1.0, 2.0, 3.0}, Vector{4.0, -5.0, 6.0}),
+                   4.0 - 10.0 + 18.0);
+}
+
+TEST(Vector, Norms) {
+  const Vector v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm1(v), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+}
+
+TEST(Vector, Distance) {
+  EXPECT_DOUBLE_EQ(distance2(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 5.0);
+}
+
+TEST(Vector, AngleBetweenOrthogonalVectors) {
+  EXPECT_NEAR(angle_between(Vector{1.0, 0.0}, Vector{0.0, 1.0}),
+              std::numbers::pi / 2.0, 1e-12);
+}
+
+TEST(Vector, AngleBetweenParallelVectorsIsZero) {
+  EXPECT_NEAR(angle_between(Vector{1.0, 2.0}, Vector{2.0, 4.0}), 0.0, 1e-7);
+}
+
+TEST(Vector, AngleBetweenOppositeVectorsIsPi) {
+  EXPECT_NEAR(angle_between(Vector{1.0, 0.0}, Vector{-1.0, 0.0}),
+              std::numbers::pi, 1e-12);
+}
+
+TEST(Vector, AngleOfZeroVectorThrows) {
+  EXPECT_THROW((void)angle_between(Vector{0.0, 0.0}, Vector{1.0, 0.0}),
+               NumericalError);
+}
+
+TEST(Vector, Normalized) {
+  const Vector n = normalized(Vector{3.0, 4.0});
+  EXPECT_NEAR(norm2(n), 1.0, 1e-15);
+  EXPECT_NEAR(n[0], 0.6, 1e-15);
+  EXPECT_THROW((void)normalized(Vector{0.0}), NumericalError);
+}
+
+TEST(Vector, UnitVector) {
+  const Vector e = unit_vector(4, 2);
+  EXPECT_EQ(e, (Vector{0.0, 0.0, 1.0, 0.0}));
+  EXPECT_THROW((void)unit_vector(2, 2), ContractViolation);
+}
+
+TEST(Vector, StreamOutput) {
+  std::ostringstream os;
+  os << Vector{1.0, 2.0};
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace ddc::linalg

@@ -1,0 +1,164 @@
+#include <ddc/metrics/classification_metrics.hpp>
+#include <ddc/metrics/gaussian_metrics.hpp>
+#include <ddc/metrics/outlier_metrics.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+
+namespace ddc::metrics {
+namespace {
+
+using core::Classification;
+using core::Collection;
+using core::Weight;
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using summaries::CentroidPolicy;
+
+Classification<Vector> centroid_classification(
+    std::initializer_list<std::pair<Vector, std::int64_t>> parts) {
+  Classification<Vector> c;
+  for (const auto& [summary, quanta] : parts) {
+    c.add(Collection<Vector>{summary, Weight::from_quanta(quanta), {}});
+  }
+  return c;
+}
+
+TEST(ClassificationDistance, ZeroOnIdenticalClassifications) {
+  const auto a = centroid_classification({{Vector{0.0}, 100}, {Vector{5.0}, 300}});
+  const auto b = centroid_classification({{Vector{0.0}, 100}, {Vector{5.0}, 300}});
+  EXPECT_NEAR((classification_distance<CentroidPolicy>(a, b)), 0.0, 1e-12);
+}
+
+TEST(ClassificationDistance, ScaleInvariantInTotalWeight) {
+  const auto a = centroid_classification({{Vector{0.0}, 100}, {Vector{5.0}, 300}});
+  const auto b = centroid_classification({{Vector{0.0}, 200}, {Vector{5.0}, 600}});
+  EXPECT_NEAR((classification_distance<CentroidPolicy>(a, b)), 0.0, 1e-12);
+}
+
+TEST(ClassificationDistance, GrowsWithSummaryDistance) {
+  const auto a = centroid_classification({{Vector{0.0}, 100}});
+  const auto near = centroid_classification({{Vector{0.5}, 100}});
+  const auto far = centroid_classification({{Vector{3.0}, 100}});
+  EXPECT_LT((classification_distance<CentroidPolicy>(a, near)),
+            (classification_distance<CentroidPolicy>(a, far)));
+}
+
+TEST(ClassificationDistance, WeightMismatchCosts) {
+  const auto a = centroid_classification({{Vector{0.0}, 100}, {Vector{5.0}, 100}});
+  const auto b = centroid_classification({{Vector{0.0}, 190}, {Vector{5.0}, 10}});
+  // Matching weight mass: min(0.5,0.95)+min(0.5,0.05) = 0.55 matched at
+  // distance 0; 0.45 cross-matched at distance 5.
+  EXPECT_NEAR((classification_distance<CentroidPolicy>(a, b)), 0.45 * 5.0,
+              1e-9);
+}
+
+TEST(ClassificationDistance, SymmetricInArguments) {
+  const auto a = centroid_classification({{Vector{0.0}, 100}, {Vector{4.0}, 50}});
+  const auto b = centroid_classification({{Vector{1.0}, 80}, {Vector{6.0}, 90}});
+  EXPECT_NEAR((classification_distance<CentroidPolicy>(a, b)),
+              (classification_distance<CentroidPolicy>(b, a)), 1e-12);
+}
+
+Classification<Gaussian> gaussian_classification(double heavy_mean_y) {
+  Classification<Gaussian> c;
+  c.add(Collection<Gaussian>{
+      Gaussian(Vector{0.0, heavy_mean_y}, Matrix::identity(2)),
+      Weight::from_quanta(900), {}});
+  c.add(Collection<Gaussian>{
+      Gaussian(Vector{0.0, 10.0}, Matrix::identity(2) * 0.1),
+      Weight::from_quanta(100), {}});
+  return c;
+}
+
+TEST(GaussianMetrics, OverallMeanWeighsComponents) {
+  const auto c = gaussian_classification(0.0);
+  const Vector mean = overall_mean(c);
+  EXPECT_NEAR(mean[1], 0.9 * 0.0 + 0.1 * 10.0, 1e-12);
+}
+
+TEST(GaussianMetrics, HeaviestCollectionSelection) {
+  const auto c = gaussian_classification(0.0);
+  EXPECT_EQ(heaviest_collection_index(c), 0u);
+  EXPECT_EQ(heaviest_collection_mean(c), (Vector{0.0, 0.0}));
+}
+
+TEST(GaussianMetrics, RobustVsRegularErrorSplit) {
+  const auto c = gaussian_classification(0.0);
+  const Vector truth{0.0, 0.0};
+  EXPECT_NEAR(robust_mean_error(c, truth), 0.0, 1e-12);
+  EXPECT_NEAR(regular_mean_error(c, truth), 1.0, 1e-12);  // pulled by outliers
+}
+
+TEST(GaussianMetrics, MixtureRecoveryErrorZeroOnExactMatch) {
+  stats::GaussianMixture m;
+  m.add({0.5, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2))});
+  m.add({0.5, Gaussian(Vector{5.0, 5.0}, Matrix::identity(2))});
+  EXPECT_NEAR(mixture_recovery_error(m, m), 0.0, 1e-12);
+}
+
+TEST(GaussianMetrics, MixtureRecoveryErrorDetectsMissingComponent) {
+  stats::GaussianMixture truth;
+  truth.add({0.5, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2))});
+  truth.add({0.5, Gaussian(Vector{5.0, 5.0}, Matrix::identity(2))});
+  stats::GaussianMixture est;
+  est.add({1.0, Gaussian(Vector{0.0, 0.0}, Matrix::identity(2))});
+  EXPECT_GT(mixture_recovery_error(truth, est), 1.0);
+}
+
+TEST(OutlierMetrics, FlagsByDensityThreshold) {
+  const Gaussian good(Vector{0.0, 0.0}, Matrix::identity(2));
+  const std::vector<Vector> inputs = {Vector{0.0, 0.0}, Vector{0.0, 6.0}};
+  const auto flags = flag_outliers(inputs, good);
+  EXPECT_FALSE(flags[0]);
+  EXPECT_TRUE(flags[1]);  // density at r=6 is ≈ 2.4e-9 < 5e-5
+}
+
+TEST(OutlierMetrics, GoodDistributionTailCountsAsOutlier) {
+  // The paper notes some "missed outliers" are really tail values of the
+  // good distribution: the rule is value-based, not origin-based.
+  const Gaussian good(Vector{0.0, 0.0}, Matrix::identity(2));
+  const auto flags = flag_outliers({Vector{4.5, 0.0}}, good);
+  EXPECT_TRUE(flags[0]);  // standard-normal density at r=4.5 < 5e-5
+}
+
+TEST(OutlierMetrics, MissedRatioFromAuxVectors) {
+  // Good collection (heaviest) holds 0.25 of value 2's weight; the rest of
+  // value 2 sits in the outlier collection. Value 2 is the only outlier.
+  Classification<Gaussian> c;
+  Vector aux_good(3);
+  aux_good[0] = 1.0;
+  aux_good[1] = 1.0;
+  aux_good[2] = 0.25;
+  Vector aux_out(3);
+  aux_out[2] = 0.75;
+  c.add(Collection<Gaussian>{Gaussian(Vector{0.0, 0.0}, Matrix::identity(2)),
+                             Weight::from_quanta(900), aux_good});
+  c.add(Collection<Gaussian>{Gaussian(Vector{0.0, 9.0}, Matrix::identity(2)),
+                             Weight::from_quanta(300), aux_out});
+  const std::vector<bool> flags = {false, false, true};
+  EXPECT_NEAR(missed_outlier_ratio(c, flags), 0.25, 1e-12);
+}
+
+TEST(OutlierMetrics, NoOutliersGivesZeroRatio) {
+  Classification<Gaussian> c;
+  Vector aux(2);
+  aux[0] = 1.0;
+  aux[1] = 1.0;
+  c.add(Collection<Gaussian>{Gaussian(Vector{0.0, 0.0}, Matrix::identity(2)),
+                             Weight::from_quanta(100), aux});
+  EXPECT_EQ(missed_outlier_ratio(c, {false, false}), 0.0);
+}
+
+TEST(OutlierMetrics, MissingAuxThrows) {
+  Classification<Gaussian> c;
+  c.add(Collection<Gaussian>{Gaussian(Vector{0.0, 0.0}, Matrix::identity(2)),
+                             Weight::from_quanta(100), {}});
+  EXPECT_THROW((void)missed_outlier_ratio(c, {true}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::metrics

@@ -1,0 +1,151 @@
+#include <ddc/partition/em_partition.hpp>
+#include <ddc/partition/greedy.hpp>
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include <ddc/core/policy.hpp>
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+
+namespace ddc::partition {
+namespace {
+
+using core::Grouping;
+using core::WeightedSummary;
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using summaries::CentroidPolicy;
+using summaries::GaussianPolicy;
+
+// Concept conformance: every shipped policy must satisfy PartitionPolicy.
+static_assert(core::PartitionPolicy<GreedyDistancePartition<CentroidPolicy>,
+                                    Vector>);
+static_assert(core::PartitionPolicy<EmPartition, Gaussian>);
+static_assert(core::PartitionPolicy<RunnallsPartition, Gaussian>);
+static_assert(core::PartitionPolicy<NearestMeansPartition, Gaussian>);
+
+std::vector<WeightedSummary<Vector>> centroid_line() {
+  // Four centroids: two near 0, two near 100.
+  return {{Vector{0.0}, 1.0},
+          {Vector{1.0}, 1.0},
+          {Vector{100.0}, 1.0},
+          {Vector{101.0}, 1.0}};
+}
+
+TEST(GreedyDistancePartition, IdentityWhenUnderK) {
+  const GreedyDistancePartition<CentroidPolicy> policy;
+  const Grouping g = policy.partition(centroid_line(), 4);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(core::is_valid_grouping(g, 4));
+}
+
+TEST(GreedyDistancePartition, MergesClosestPairsFirst) {
+  const GreedyDistancePartition<CentroidPolicy> policy;
+  const Grouping g = policy.partition(centroid_line(), 2);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_TRUE(core::is_valid_grouping(g, 4));
+  for (const auto& group : g) {
+    ASSERT_EQ(group.size(), 2u);
+    const bool left = group.front() < 2;
+    for (const std::size_t i : group) EXPECT_EQ(i < 2, left);
+  }
+}
+
+TEST(GreedyDistancePartition, KOneMergesEverything) {
+  const GreedyDistancePartition<CentroidPolicy> policy;
+  const Grouping g = policy.partition(centroid_line(), 1);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0].size(), 4u);
+}
+
+TEST(GreedyDistancePartition, MergedSummariesDriveLaterDecisions) {
+  // After merging {0, 2} (closest), the merged centroid at 1 is closer to
+  // the point at 3 than the point at 10 is; greedy must pick that next.
+  const std::vector<WeightedSummary<Vector>> collections = {
+      {Vector{0.0}, 1.0}, {Vector{3.0}, 1.0}, {Vector{2.0}, 1.0},
+      {Vector{10.0}, 1.0}};
+  const GreedyDistancePartition<CentroidPolicy> policy;
+  const Grouping g = policy.partition(collections, 2);
+  ASSERT_EQ(g.size(), 2u);
+  // Expect {0, 2, 1} together and {3} alone.
+  for (const auto& group : g) {
+    if (group.size() == 1) {
+      EXPECT_EQ(group.front(), 3u);
+    }
+    if (group.size() == 3) {
+      EXPECT_TRUE(core::is_valid_grouping({group, {3}}, 4));
+    }
+  }
+}
+
+std::vector<WeightedSummary<Gaussian>> gaussian_clusters() {
+  return {{Gaussian(Vector{0.0, 0.0}, Matrix::identity(2) * 0.5), 2.0},
+          {Gaussian(Vector{0.5, 0.2}, Matrix::identity(2) * 0.4), 1.0},
+          {Gaussian(Vector{15.0, 0.0}, Matrix::identity(2) * 0.5), 2.0},
+          {Gaussian(Vector{15.5, -0.2}, Matrix::identity(2) * 0.3), 1.0}};
+}
+
+TEST(EmPartition, ProducesValidGroupingWithinK) {
+  EmPartition policy{stats::Rng(81)};
+  const Grouping g = policy.partition(gaussian_clusters(), 2);
+  EXPECT_LE(g.size(), 2u);
+  EXPECT_TRUE(core::is_valid_grouping(g, 4));
+}
+
+TEST(EmPartition, GroupsByCluster) {
+  EmPartition policy{stats::Rng(82)};
+  const Grouping g = policy.partition(gaussian_clusters(), 2);
+  ASSERT_EQ(g.size(), 2u);
+  for (const auto& group : g) {
+    const bool left = group.front() < 2;
+    for (const std::size_t i : group) EXPECT_EQ(i < 2, left);
+  }
+}
+
+TEST(EmPartition, VarianceAwareAssignment) {
+  // The Figure 1 situation as a partition decision: a point-mass collection
+  // at x = 1.2 must group with the wide collection at 3, not the tight one
+  // at 0, when k forces a 2-way split of {tight@0, wide@3, point@1.2}...
+  // The EM E-step scores by expected log density, which accounts for
+  // variance exactly as the paper argues.
+  const std::vector<WeightedSummary<Gaussian>> collections = {
+      {Gaussian(Vector{0.0}, Matrix{{0.02}}), 5.0},
+      {Gaussian(Vector{3.0}, Matrix{{16.0}}), 5.0},
+      {Gaussian::point_mass(Vector{1.2}), 1.0}};
+  EmPartition policy{stats::Rng(83)};
+  const Grouping g = policy.partition(collections, 2);
+  ASSERT_TRUE(core::is_valid_grouping(g, 3));
+  // Find the group holding index 2 (the new value).
+  for (const auto& group : g) {
+    for (const std::size_t i : group) {
+      if (i == 2) {
+        // It must share a group with the wide Gaussian (index 1).
+        EXPECT_NE(std::find(group.begin(), group.end(), 1u), group.end());
+      }
+    }
+  }
+}
+
+TEST(RunnallsPartition, ValidAndClusterRespecting) {
+  const RunnallsPartition policy;
+  const Grouping g = policy.partition(gaussian_clusters(), 2);
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_TRUE(core::is_valid_grouping(g, 4));
+  for (const auto& group : g) {
+    const bool left = group.front() < 2;
+    for (const std::size_t i : group) EXPECT_EQ(i < 2, left);
+  }
+}
+
+TEST(NearestMeansPartition, ValidGrouping) {
+  const NearestMeansPartition policy;
+  const Grouping g = policy.partition(gaussian_clusters(), 3);
+  EXPECT_LE(g.size(), 3u);
+  EXPECT_TRUE(core::is_valid_grouping(g, 4));
+}
+
+}  // namespace
+}  // namespace ddc::partition

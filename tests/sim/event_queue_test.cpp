@@ -1,0 +1,99 @@
+#include <ddc/sim/event_queue.hpp>
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::sim {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero) {
+  const EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.now(), 0.0);
+  EXPECT_EQ(q.executed(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.run(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.executed(), 3u);
+}
+
+TEST(EventQueue, TiesBreakFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.run(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1.0;
+  q.schedule(2.0, [&] {
+    q.schedule_after(1.5, [&] { fired_at = q.now(); });
+  });
+  q.run(100);
+  EXPECT_EQ(fired_at, 3.5);
+}
+
+TEST(EventQueue, SchedulingInThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [] {});
+  q.run(1);
+  EXPECT_THROW(q.schedule(4.0, [] {}), ContractViolation);
+  EXPECT_THROW(q.schedule_after(-1.0, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  q.schedule(5.0, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(3.0), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.run_until(10.0), 1u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) q.schedule_after(1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run_until(100.0);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(EventQueue, StepOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.step(), ContractViolation);
+}
+
+TEST(EventQueue, RunBoundsEventCount) {
+  EventQueue q;
+  // Self-perpetuating event: run(n) must stop after n.
+  std::function<void()> loop = [&] { q.schedule_after(1.0, loop); };
+  q.schedule(0.0, loop);
+  EXPECT_EQ(q.run(25), 25u);
+  EXPECT_EQ(q.executed(), 25u);
+}
+
+}  // namespace
+}  // namespace ddc::sim

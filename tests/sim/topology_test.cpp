@@ -1,0 +1,117 @@
+#include <ddc/sim/topology.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::sim {
+namespace {
+
+TEST(Topology, CompleteGraphShape) {
+  const Topology t = Topology::complete(5);
+  EXPECT_EQ(t.num_nodes(), 5u);
+  EXPECT_EQ(t.num_edges(), 20u);  // n(n−1) directed edges
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.neighbors(i).size(), 4u);
+    EXPECT_FALSE(t.has_edge(i, i));
+  }
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.diameter(), 1u);
+}
+
+TEST(Topology, RingShape) {
+  const Topology t = Topology::ring(6);
+  EXPECT_EQ(t.num_edges(), 12u);
+  EXPECT_TRUE(t.has_edge(0, 5));
+  EXPECT_TRUE(t.has_edge(5, 0));
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.diameter(), 3u);
+}
+
+TEST(Topology, TwoNodeRingHasNoDuplicateEdges) {
+  const Topology t = Topology::ring(2);
+  EXPECT_EQ(t.num_edges(), 2u);
+}
+
+TEST(Topology, DirectedRingIsStronglyConnectedOneWay) {
+  const Topology t = Topology::directed_ring(4);
+  EXPECT_TRUE(t.has_edge(0, 1));
+  EXPECT_FALSE(t.has_edge(1, 0));
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.diameter(), 3u);
+}
+
+TEST(Topology, LineShapeAndDiameter) {
+  const Topology t = Topology::line(5);
+  EXPECT_EQ(t.num_edges(), 8u);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.diameter(), 4u);
+}
+
+TEST(Topology, StarCenterTouchesEverything) {
+  const Topology t = Topology::star(6);
+  EXPECT_EQ(t.neighbors(0).size(), 5u);
+  for (NodeId i = 1; i < 6; ++i) EXPECT_EQ(t.neighbors(i).size(), 1u);
+  EXPECT_EQ(t.diameter(), 2u);
+}
+
+TEST(Topology, GridShape) {
+  const Topology t = Topology::grid(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12u);
+  // Corner (0,0) has 2 neighbors; interior (1,1) has 4.
+  EXPECT_EQ(t.neighbors(0).size(), 2u);
+  EXPECT_EQ(t.neighbors(1 * 4 + 1).size(), 4u);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.diameter(), 5u);  // (3−1) + (4−1)
+}
+
+TEST(Topology, TorusHasUniformDegree) {
+  const Topology t = Topology::grid(4, 4, /*torus=*/true);
+  for (NodeId i = 0; i < 16; ++i) EXPECT_EQ(t.neighbors(i).size(), 4u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, RandomGeometricConnectedAndHasPositions) {
+  stats::Rng rng(91);
+  const Topology t = Topology::random_geometric(50, 0.35, rng);
+  EXPECT_TRUE(t.is_connected());
+  ASSERT_TRUE(t.positions().has_value());
+  EXPECT_EQ(t.positions()->size(), 50u);
+}
+
+TEST(Topology, RandomGeometricImpossibleRadiusThrows) {
+  stats::Rng rng(92);
+  EXPECT_THROW((void)Topology::random_geometric(50, 1e-6, rng, 3), ConfigError);
+}
+
+TEST(Topology, ErdosRenyiConnected) {
+  stats::Rng rng(93);
+  const Topology t = Topology::erdos_renyi(40, 0.2, rng);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, FromEdgesDirected) {
+  const Topology t = Topology::from_edges(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_FALSE(t.has_edge(1, 0));
+}
+
+TEST(Topology, FromEdgesDetectsDisconnection) {
+  const Topology t = Topology::from_edges(3, {{0, 1}, {1, 0}});
+  EXPECT_FALSE(t.is_connected());
+}
+
+TEST(Topology, OneWayEdgeIsNotStronglyConnected) {
+  const Topology t = Topology::from_edges(2, {{0, 1}});
+  EXPECT_FALSE(t.is_connected());
+}
+
+TEST(Topology, RejectsSelfLoopsAndDuplicates) {
+  EXPECT_THROW((void)Topology::from_edges(2, {{0, 0}}), ContractViolation);
+  EXPECT_THROW((void)Topology::from_edges(2, {{0, 1}, {0, 1}}),
+               ContractViolation);
+  EXPECT_THROW((void)Topology::from_edges(2, {{0, 5}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::sim

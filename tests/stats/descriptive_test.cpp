@@ -1,0 +1,97 @@
+#include <ddc/stats/descriptive.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Descriptive, TotalWeight) {
+  const std::vector<WeightedValue> s = {{Vector{1.0}, 2.0}, {Vector{2.0}, 3.0}};
+  EXPECT_DOUBLE_EQ(total_weight(s), 5.0);
+}
+
+TEST(Descriptive, RejectsNonPositiveWeights) {
+  const std::vector<WeightedValue> s = {{Vector{1.0}, 0.0}};
+  EXPECT_THROW((void)total_weight(s), ContractViolation);
+}
+
+TEST(Descriptive, WeightedMeanSimple) {
+  const std::vector<WeightedValue> s = {{Vector{0.0, 0.0}, 1.0},
+                                        {Vector{4.0, 8.0}, 3.0}};
+  EXPECT_EQ(weighted_mean(s), (Vector{3.0, 6.0}));
+}
+
+TEST(Descriptive, WeightedMeanOfEmptyThrows) {
+  EXPECT_THROW((void)weighted_mean({}), ContractViolation);
+}
+
+TEST(Descriptive, CovarianceOfConstantIsZero) {
+  const std::vector<WeightedValue> s = {{Vector{2.0, 3.0}, 1.0},
+                                        {Vector{2.0, 3.0}, 5.0}};
+  EXPECT_EQ(linalg::max_abs(weighted_covariance(s)), 0.0);
+}
+
+TEST(Descriptive, CovarianceUsesPopulationConvention) {
+  // Two equal-weight points at ±1: population variance is 1 (not 2).
+  const std::vector<WeightedValue> s = {{Vector{-1.0}, 1.0}, {Vector{1.0}, 1.0}};
+  EXPECT_NEAR(weighted_covariance(s)(0, 0), 1.0, 1e-12);
+}
+
+TEST(Descriptive, CovarianceCapturesCorrelation) {
+  // Points on the line y = 2x → cov(x,y) = 2·var(x).
+  std::vector<WeightedValue> s;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) {
+    s.push_back({Vector{x, 2.0 * x}, 1.0});
+  }
+  const Matrix c = weighted_covariance(s);
+  EXPECT_NEAR(c(0, 1), 2.0 * c(0, 0), 1e-12);
+  EXPECT_NEAR(c(1, 1), 4.0 * c(0, 0), 1e-12);
+}
+
+TEST(Descriptive, WeightActsLikeReplication) {
+  // A point with weight 3 must act exactly like three copies of it.
+  const std::vector<WeightedValue> weighted = {{Vector{1.0}, 3.0},
+                                               {Vector{5.0}, 1.0}};
+  const std::vector<WeightedValue> replicated = {{Vector{1.0}, 1.0},
+                                                 {Vector{1.0}, 1.0},
+                                                 {Vector{1.0}, 1.0},
+                                                 {Vector{5.0}, 1.0}};
+  EXPECT_LT(linalg::distance2(weighted_mean(weighted), weighted_mean(replicated)),
+            1e-12);
+  EXPECT_LT(linalg::max_abs(weighted_covariance(weighted) -
+                            weighted_covariance(replicated)),
+            1e-12);
+}
+
+TEST(RunningMoments, MatchesTwoPassMoments) {
+  Rng rng(41);
+  std::vector<WeightedValue> sample;
+  RunningMoments running(3);
+  for (int i = 0; i < 500; ++i) {
+    const Vector v{rng.normal(), rng.normal(1.0, 2.0), rng.normal(-3.0, 0.5)};
+    const double w = rng.uniform(0.1, 2.0);
+    sample.push_back({v, w});
+    running.add(v, w);
+  }
+  EXPECT_LT(linalg::distance2(running.mean(), weighted_mean(sample)), 1e-10);
+  EXPECT_LT(
+      linalg::max_abs(running.covariance() - weighted_covariance(sample)),
+      1e-10);
+  EXPECT_EQ(running.count(), 500u);
+}
+
+TEST(RunningMoments, RequiresPositiveWeightAndMatchingDim) {
+  RunningMoments m(2);
+  EXPECT_THROW(m.add(Vector{1.0, 2.0}, 0.0), ContractViolation);
+  EXPECT_THROW(m.add(Vector{1.0}, 1.0), ContractViolation);
+  EXPECT_THROW((void)m.mean(), ContractViolation);  // no mass yet
+}
+
+}  // namespace
+}  // namespace ddc::stats

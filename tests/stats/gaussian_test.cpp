@@ -1,0 +1,189 @@
+#include <ddc/stats/gaussian.hpp>
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/stats/descriptive.hpp>
+
+namespace ddc::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Gaussian, StandardNormalDensityAtOrigin1D) {
+  const Gaussian g(1);
+  EXPECT_NEAR(g.pdf(Vector{0.0}), 1.0 / std::sqrt(2.0 * std::numbers::pi),
+              1e-12);
+}
+
+TEST(Gaussian, StandardNormalDensityAtOrigin2D) {
+  const Gaussian g(2);
+  EXPECT_NEAR(g.pdf(Vector{0.0, 0.0}), 1.0 / (2.0 * std::numbers::pi), 1e-12);
+}
+
+TEST(Gaussian, DensityIntegratesToOne1D) {
+  // Trapezoidal integration over [-8, 8].
+  const Gaussian g(Vector{0.5}, Matrix{{2.0}});
+  double integral = 0.0;
+  const double dx = 0.001;
+  for (double x = -8.0; x < 8.0; x += dx) {
+    integral += g.pdf(Vector{x}) * dx;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-4);
+}
+
+TEST(Gaussian, LogPdfConsistentWithPdf) {
+  const Gaussian g(Vector{1.0, -1.0}, Matrix{{2.0, 0.3}, {0.3, 1.0}});
+  const Vector x{0.2, 0.7};
+  EXPECT_NEAR(std::exp(g.log_pdf(x)), g.pdf(x), 1e-12);
+}
+
+TEST(Gaussian, DensityPeaksAtMean) {
+  const Gaussian g(Vector{2.0, 3.0}, Matrix{{1.5, 0.2}, {0.2, 0.8}});
+  const double at_mean = g.pdf(Vector{2.0, 3.0});
+  EXPECT_GT(at_mean, g.pdf(Vector{2.5, 3.0}));
+  EXPECT_GT(at_mean, g.pdf(Vector{2.0, 2.0}));
+}
+
+TEST(Gaussian, MahalanobisOfMeanIsZero) {
+  const Gaussian g(Vector{1.0, 2.0}, Matrix::identity(2) * 3.0);
+  EXPECT_NEAR(g.mahalanobis_squared(Vector{1.0, 2.0}), 0.0, 1e-12);
+  EXPECT_NEAR(g.mahalanobis_squared(Vector{1.0 + std::sqrt(3.0), 2.0}), 1.0,
+              1e-12);
+}
+
+TEST(Gaussian, PointMassHasZeroCovarianceButFiniteDensity) {
+  const Gaussian g = Gaussian::point_mass(Vector{1.0, 2.0});
+  EXPECT_EQ(linalg::max_abs(g.cov()), 0.0);
+  EXPECT_TRUE(std::isfinite(g.log_pdf(Vector{1.0, 2.0})));
+}
+
+TEST(Gaussian, SphericalFactory) {
+  const Gaussian g = Gaussian::spherical(Vector{0.0, 0.0}, 2.0);
+  EXPECT_EQ(g.cov(), Matrix::identity(2) * 4.0);
+  EXPECT_THROW((void)Gaussian::spherical(Vector{0.0}, -1.0), ContractViolation);
+}
+
+TEST(Gaussian, RejectsAsymmetricCovariance) {
+  EXPECT_THROW(Gaussian(Vector{0.0, 0.0}, Matrix{{1.0, 0.5}, {0.0, 1.0}}),
+               ContractViolation);
+}
+
+TEST(Gaussian, RejectsShapeMismatch) {
+  EXPECT_THROW(Gaussian(Vector{0.0}, Matrix::identity(2)), ContractViolation);
+}
+
+TEST(Gaussian, SampleMomentsMatchParameters) {
+  const Gaussian g(Vector{1.0, -2.0}, Matrix{{2.0, 0.8}, {0.8, 1.0}});
+  Rng rng(99);
+  RunningMoments moments(2);
+  for (int i = 0; i < 40000; ++i) moments.add(g.sample(rng));
+  EXPECT_LT(linalg::distance2(moments.mean(), g.mean()), 0.03);
+  EXPECT_LT(linalg::max_abs(moments.covariance() - g.cov()), 0.08);
+}
+
+TEST(Gaussian, KlOfIdenticalIsZero) {
+  const Gaussian g(Vector{1.0, 2.0}, Matrix{{1.0, 0.2}, {0.2, 2.0}});
+  EXPECT_NEAR(kl_divergence(g, g), 0.0, 1e-10);
+}
+
+TEST(Gaussian, KlIsAsymmetricAndPositive) {
+  const Gaussian a(Vector{0.0}, Matrix{{1.0}});
+  const Gaussian b(Vector{1.0}, Matrix{{4.0}});
+  const double ab = kl_divergence(a, b);
+  const double ba = kl_divergence(b, a);
+  EXPECT_GT(ab, 0.0);
+  EXPECT_GT(ba, 0.0);
+  EXPECT_NE(ab, ba);
+  EXPECT_NEAR(symmetric_kl(a, b), ab + ba, 1e-12);
+}
+
+TEST(Gaussian, Kl1DClosedForm) {
+  // KL(N(µ1,σ1²)‖N(µ2,σ2²)) = log(σ2/σ1) + (σ1² + (µ1−µ2)²)/(2σ2²) − ½.
+  const double mu1 = 0.5, s1 = 1.5, mu2 = -0.3, s2 = 0.8;
+  const Gaussian a(Vector{mu1}, Matrix{{s1 * s1}});
+  const Gaussian b(Vector{mu2}, Matrix{{s2 * s2}});
+  const double expected = std::log(s2 / s1) +
+                          (s1 * s1 + (mu1 - mu2) * (mu1 - mu2)) /
+                              (2.0 * s2 * s2) -
+                          0.5;
+  EXPECT_NEAR(kl_divergence(a, b), expected, 1e-10);
+}
+
+TEST(Gaussian, BhattacharyyaSymmetricZeroOnIdentical) {
+  const Gaussian a(Vector{0.0, 1.0}, Matrix{{1.0, 0.0}, {0.0, 2.0}});
+  const Gaussian b(Vector{3.0, 1.0}, Matrix{{2.0, 0.5}, {0.5, 1.0}});
+  EXPECT_NEAR(bhattacharyya(a, a), 0.0, 1e-10);
+  EXPECT_NEAR(bhattacharyya(a, b), bhattacharyya(b, a), 1e-12);
+  EXPECT_GT(bhattacharyya(a, b), 0.0);
+}
+
+TEST(Gaussian, ExpectedLogPdfOfSelfBeatsOthers) {
+  // E_a[log b] is maximized over means when b's mean equals a's.
+  const Gaussian a(Vector{1.0}, Matrix{{1.0}});
+  const Gaussian b_same(Vector{1.0}, Matrix{{1.0}});
+  const Gaussian b_far(Vector{4.0}, Matrix{{1.0}});
+  EXPECT_GT(expected_log_pdf(a, b_same), expected_log_pdf(a, b_far));
+}
+
+TEST(Gaussian, ExpectedLogPdfClosedForm1D) {
+  // For a = N(0,1), b = N(0,1): E[log b] = −½log(2π) − ½.
+  const Gaussian g(1);
+  EXPECT_NEAR(expected_log_pdf(g, g),
+              -0.5 * std::log(2.0 * std::numbers::pi) - 0.5, 1e-9);
+}
+
+TEST(MomentMatch, SinglePartIsIdentity) {
+  const Gaussian g(Vector{1.0, 2.0}, Matrix{{1.0, 0.1}, {0.1, 1.0}});
+  const Gaussian m = moment_match({{2.5, g}});
+  EXPECT_LT(linalg::distance2(m.mean(), g.mean()), 1e-12);
+  EXPECT_LT(linalg::max_abs(m.cov() - g.cov()), 1e-12);
+}
+
+TEST(MomentMatch, TwoPointMassesGiveBernoulliMoments) {
+  const Gaussian a = Gaussian::point_mass(Vector{0.0});
+  const Gaussian b = Gaussian::point_mass(Vector{1.0});
+  const Gaussian m = moment_match({{1.0, a}, {1.0, b}});
+  EXPECT_NEAR(m.mean()[0], 0.5, 1e-12);
+  EXPECT_NEAR(m.cov()(0, 0), 0.25, 1e-12);  // variance of fair Bernoulli
+}
+
+TEST(MomentMatch, MatchesDirectMomentsOfPooledSample) {
+  // Moment-matching two sub-sample Gaussians must equal the moments of the
+  // pooled sample (this is the heart of requirement R4 for GM summaries).
+  Rng rng(13);
+  std::vector<WeightedValue> left, right, all;
+  for (int i = 0; i < 50; ++i) {
+    const Vector v{rng.normal(), rng.normal(2.0, 3.0)};
+    (i % 2 == 0 ? left : right).push_back({v, 1.0});
+    all.push_back({v, 1.0});
+  }
+  const Gaussian gl(weighted_mean(left), weighted_covariance(left));
+  const Gaussian gr(weighted_mean(right), weighted_covariance(right));
+  const Gaussian merged = moment_match(
+      {{static_cast<double>(left.size()), gl},
+       {static_cast<double>(right.size()), gr}});
+  EXPECT_LT(linalg::distance2(merged.mean(), weighted_mean(all)), 1e-10);
+  EXPECT_LT(linalg::max_abs(merged.cov() - weighted_covariance(all)), 1e-10);
+}
+
+TEST(MomentMatch, WeightScaleInvariance) {
+  const Gaussian a(Vector{0.0}, Matrix{{1.0}});
+  const Gaussian b(Vector{4.0}, Matrix{{2.0}});
+  const Gaussian m1 = moment_match({{1.0, a}, {3.0, b}});
+  const Gaussian m2 = moment_match({{10.0, a}, {30.0, b}});
+  EXPECT_LT(linalg::distance2(m1.mean(), m2.mean()), 1e-12);
+  EXPECT_LT(linalg::max_abs(m1.cov() - m2.cov()), 1e-12);
+}
+
+TEST(MomentMatch, RejectsEmptyAndNonPositiveWeights) {
+  EXPECT_THROW((void)moment_match({}), ContractViolation);
+  EXPECT_THROW((void)moment_match({{0.0, Gaussian(1)}}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::stats

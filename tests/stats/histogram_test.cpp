@@ -1,0 +1,87 @@
+#include <ddc/stats/histogram.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::stats {
+namespace {
+
+TEST(Histogram, ConstructionValidation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), ContractViolation);
+}
+
+TEST(Histogram, BinAssignment) {
+  const Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bin_of(0.0), 0u);
+  EXPECT_EQ(h.bin_of(0.99), 0u);
+  EXPECT_EQ(h.bin_of(1.0), 1u);
+  EXPECT_EQ(h.bin_of(9.99), 9u);
+}
+
+TEST(Histogram, OutOfRangeMassIsClamped) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0, 1.0);
+  h.add(50.0, 2.0);
+  EXPECT_EQ(h.mass()[0], 1.0);
+  EXPECT_EQ(h.mass()[9], 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, BinCenters) {
+  const Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 9.5);
+  EXPECT_THROW((void)h.bin_center(10), ContractViolation);
+}
+
+TEST(Histogram, MeanOfSymmetricMassIsCentral) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(1.2, 1.0);  // bin 1, center 1.5
+  h.add(8.7, 1.0);  // bin 8, center 8.5
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, MeanOfEmptyThrows) {
+  const Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.mean(), ContractViolation);
+}
+
+TEST(Histogram, MergeAddsMassBinwise) {
+  Histogram a(0.0, 4.0, 4);
+  Histogram b(0.0, 4.0, 4);
+  a.add(0.5, 1.0);
+  b.add(0.5, 2.0);
+  b.add(3.5, 4.0);
+  a.merge(b, 0.5);
+  EXPECT_DOUBLE_EQ(a.mass()[0], 2.0);
+  EXPECT_DOUBLE_EQ(a.mass()[3], 2.0);
+}
+
+TEST(Histogram, MergeRequiresIdenticalBinning) {
+  Histogram a(0.0, 4.0, 4);
+  const Histogram b(0.0, 4.0, 8);
+  EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+TEST(Histogram, ScaleMultipliesMass) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 2.0);
+  h.scale(2.5);
+  EXPECT_DOUBLE_EQ(h.total(), 5.0);
+  EXPECT_THROW(h.scale(-1.0), ContractViolation);
+}
+
+TEST(Histogram, L1DistanceNormalizes) {
+  Histogram a(0.0, 2.0, 2);
+  Histogram b(0.0, 2.0, 2);
+  a.add(0.5, 1.0);
+  b.add(0.5, 10.0);  // same shape, different scale
+  EXPECT_NEAR(a.l1_distance(b), 0.0, 1e-12);
+  b.add(1.5, 10.0);
+  EXPECT_NEAR(a.l1_distance(b), 1.0, 1e-12);  // (1−0.5) + (0−0.5)
+}
+
+}  // namespace
+}  // namespace ddc::stats

@@ -1,0 +1,118 @@
+#include <ddc/stats/mixture_distance.hpp>
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+GaussianMixture single(double mean, double var) {
+  GaussianMixture m;
+  m.add({1.0, Gaussian(Vector{mean}, Matrix{{var}})});
+  return m;
+}
+
+TEST(MixtureDistance, ProductIntegralOfStandardNormals1D) {
+  // ∫ N(x;0,1)² dx = N(0; 0, 2) = 1/√(4π).
+  const GaussianMixture f = single(0.0, 1.0);
+  EXPECT_NEAR(product_integral(f, f), 1.0 / std::sqrt(4.0 * std::numbers::pi),
+              1e-12);
+}
+
+TEST(MixtureDistance, ProductIntegralMatchesNumericalQuadrature) {
+  GaussianMixture f;
+  f.add({0.6, Gaussian(Vector{0.0}, Matrix{{1.0}})});
+  f.add({0.4, Gaussian(Vector{3.0}, Matrix{{0.5}})});
+  GaussianMixture g;
+  g.add({1.0, Gaussian(Vector{1.0}, Matrix{{2.0}})});
+
+  double quadrature = 0.0;
+  const double dx = 0.002;
+  for (double x = -12.0; x < 16.0; x += dx) {
+    quadrature += f.pdf(Vector{x}) * g.pdf(Vector{x}) * dx;
+  }
+  EXPECT_NEAR(product_integral(f, g), quadrature, 1e-5);
+}
+
+TEST(MixtureDistance, IseZeroOnIdenticalMixtures) {
+  GaussianMixture f;
+  f.add({0.7, Gaussian(Vector{0.0, 1.0}, Matrix::identity(2))});
+  f.add({0.3, Gaussian(Vector{5.0, -2.0}, Matrix::identity(2) * 0.5)});
+  EXPECT_NEAR(ise_distance(f, f), 0.0, 1e-12);
+  EXPECT_NEAR(normalized_ise(f, f), 0.0, 1e-12);
+}
+
+TEST(MixtureDistance, IseInvariantUnderWeightScalingAndReordering) {
+  GaussianMixture f;
+  f.add({0.7, Gaussian(Vector{0.0}, Matrix{{1.0}})});
+  f.add({0.3, Gaussian(Vector{4.0}, Matrix{{1.0}})});
+  GaussianMixture g;  // same density, scaled weights, reversed order
+  g.add({3.0, Gaussian(Vector{4.0}, Matrix{{1.0}})});
+  g.add({7.0, Gaussian(Vector{0.0}, Matrix{{1.0}})});
+  EXPECT_NEAR(ise_distance(f, g), 0.0, 1e-12);
+}
+
+TEST(MixtureDistance, SymmetricInArguments) {
+  const GaussianMixture f = single(0.0, 1.0);
+  const GaussianMixture g = single(2.0, 0.5);
+  EXPECT_NEAR(ise_distance(f, g), ise_distance(g, f), 1e-15);
+  EXPECT_NEAR(normalized_ise(f, g), normalized_ise(g, f), 1e-15);
+}
+
+TEST(MixtureDistance, GrowsWithSeparation) {
+  const GaussianMixture f = single(0.0, 1.0);
+  double prev = 0.0;
+  for (double mu : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const double d = normalized_ise(f, single(mu, 1.0));
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(MixtureDistance, NormalizedIseApproachesOneForDisjointSupport) {
+  EXPECT_GT(normalized_ise(single(0.0, 0.1), single(100.0, 0.1)), 0.999);
+}
+
+TEST(MixtureDistance, NormalizedIseWithinUnitInterval) {
+  Rng rng(77);
+  for (int t = 0; t < 50; ++t) {
+    GaussianMixture f, g;
+    for (int c = 0; c < 3; ++c) {
+      f.add({rng.uniform(0.1, 2.0),
+             Gaussian(Vector{rng.normal(0.0, 5.0)},
+                      Matrix{{rng.uniform(0.05, 3.0)}})});
+      g.add({rng.uniform(0.1, 2.0),
+             Gaussian(Vector{rng.normal(0.0, 5.0)},
+                      Matrix{{rng.uniform(0.05, 3.0)}})});
+    }
+    const double d = normalized_ise(f, g);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(MixtureDistance, HandlesPointMassComponents) {
+  GaussianMixture f;
+  f.add({1.0, Gaussian::point_mass(Vector{0.0})});
+  const GaussianMixture g = single(0.0, 1.0);
+  EXPECT_TRUE(std::isfinite(ise_distance(f, g)));
+  EXPECT_GT(ise_distance(f, g), 0.0);
+}
+
+TEST(MixtureDistance, DimensionMismatchRejected) {
+  GaussianMixture f = single(0.0, 1.0);
+  GaussianMixture g;
+  g.add({1.0, Gaussian(2)});
+  EXPECT_THROW((void)product_integral(f, g), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::stats

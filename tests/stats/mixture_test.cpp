@@ -1,0 +1,116 @@
+#include <ddc/stats/mixture.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/stats/descriptive.hpp>
+
+namespace ddc::stats {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+GaussianMixture two_component_1d() {
+  GaussianMixture m;
+  m.add({0.7, Gaussian(Vector{0.0}, Matrix{{1.0}})});
+  m.add({0.3, Gaussian(Vector{5.0}, Matrix{{0.5}})});
+  return m;
+}
+
+TEST(GaussianMixture, SizeAndTotals) {
+  const GaussianMixture m = two_component_1d();
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.dim(), 1u);
+  EXPECT_NEAR(m.total_weight(), 1.0, 1e-12);
+}
+
+TEST(GaussianMixture, RejectsInconsistentComponents) {
+  GaussianMixture m;
+  m.add({1.0, Gaussian(1)});
+  EXPECT_THROW(m.add({1.0, Gaussian(2)}), ContractViolation);
+  EXPECT_THROW(m.add({0.0, Gaussian(1)}), ContractViolation);
+}
+
+TEST(GaussianMixture, PdfIsWeightedSumOfComponentPdfs) {
+  const GaussianMixture m = two_component_1d();
+  const Vector x{1.3};
+  const double expected =
+      0.7 * m[0].gaussian.pdf(x) + 0.3 * m[1].gaussian.pdf(x);
+  EXPECT_NEAR(m.pdf(x), expected, 1e-12);
+}
+
+TEST(GaussianMixture, PdfNormalizesUnnormalizedWeights) {
+  GaussianMixture m;
+  m.add({7.0, Gaussian(Vector{0.0}, Matrix{{1.0}})});
+  m.add({3.0, Gaussian(Vector{5.0}, Matrix{{0.5}})});
+  const GaussianMixture reference = two_component_1d();
+  EXPECT_NEAR(m.pdf(Vector{2.0}), reference.pdf(Vector{2.0}), 1e-12);
+}
+
+TEST(GaussianMixture, LogPdfHandlesFarTails) {
+  const GaussianMixture m = two_component_1d();
+  const double lp = m.log_pdf(Vector{100.0});
+  EXPECT_TRUE(std::isfinite(lp));
+  EXPECT_LT(lp, -1000.0);
+}
+
+TEST(GaussianMixture, ResponsibilitiesSumToOne) {
+  const GaussianMixture m = two_component_1d();
+  for (double x : {-3.0, 0.0, 2.5, 5.0, 9.0}) {
+    const auto r = m.responsibilities(Vector{x});
+    EXPECT_NEAR(r[0] + r[1], 1.0, 1e-12);
+  }
+}
+
+TEST(GaussianMixture, ClassifyPicksTheObviousComponent) {
+  const GaussianMixture m = two_component_1d();
+  EXPECT_EQ(m.classify(Vector{0.1}), 0u);
+  EXPECT_EQ(m.classify(Vector{5.1}), 1u);
+}
+
+TEST(GaussianMixture, ClassifyAccountsForVariance) {
+  // The paper's Figure 1 scenario: the new value is closer to A's mean,
+  // but B's much larger variance makes B the better explanation.
+  GaussianMixture m;
+  m.add({0.5, Gaussian(Vector{0.0}, Matrix{{0.05}})});   // A: tight
+  m.add({0.5, Gaussian(Vector{3.0}, Matrix{{16.0}})});   // B: wide
+  EXPECT_EQ(m.classify(Vector{1.2}), 1u);  // nearer A, but B wins
+}
+
+TEST(GaussianMixture, SampleFrequenciesMatchWeights) {
+  const GaussianMixture m = two_component_1d();
+  Rng rng(31);
+  int near_five = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (m.sample(rng)[0] > 2.5) ++near_five;
+  }
+  EXPECT_NEAR(static_cast<double>(near_five) / n, 0.3, 0.02);
+}
+
+TEST(GaussianMixture, MeanIsWeightCombinationOfComponentMeans) {
+  const GaussianMixture m = two_component_1d();
+  EXPECT_NEAR(m.mean()[0], 0.7 * 0.0 + 0.3 * 5.0, 1e-12);
+}
+
+TEST(GaussianMixture, CollapseMatchesSampleMoments) {
+  const GaussianMixture m = two_component_1d();
+  Rng rng(32);
+  RunningMoments moments(1);
+  for (int i = 0; i < 60000; ++i) moments.add(m.sample(rng));
+  const Gaussian c = m.collapse();
+  EXPECT_NEAR(c.mean()[0], moments.mean()[0], 0.05);
+  EXPECT_NEAR(c.cov()(0, 0), moments.covariance()(0, 0), 0.15);
+}
+
+TEST(GaussianMixture, BatchSampleCount) {
+  const GaussianMixture m = two_component_1d();
+  Rng rng(33);
+  EXPECT_EQ(m.sample(rng, 17).size(), 17u);
+}
+
+}  // namespace
+}  // namespace ddc::stats

@@ -1,0 +1,112 @@
+#include <ddc/stats/rng.hpp>
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.uniform() == b.uniform() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DerivedStreamsAreIndependentPerSalt) {
+  Rng a = Rng::derive(42, 0);
+  Rng b = Rng::derive(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.uniform() == b.uniform() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, DerivedStreamsAreReproducible) {
+  Rng a = Rng::derive(42, 7);
+  Rng b = Rng::derive(42, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(u, -2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW((void)rng.uniform(1.0, 1.0), ContractViolation);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(4);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform_index(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_THROW((void)rng.uniform_index(0), ContractViolation);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(5);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalWithZeroStddevIsDeterministic) {
+  Rng rng(6);
+  EXPECT_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW((void)rng.bernoulli(1.5), ContractViolation);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(8);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    counts[rng.discrete({1.0, 0.0, 3.0})]++;
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 10000.0, 0.75, 0.03);
+}
+
+TEST(Rng, DiscreteRejectsDegenerateInputs) {
+  Rng rng(9);
+  EXPECT_THROW((void)rng.discrete({}), ContractViolation);
+  EXPECT_THROW((void)rng.discrete({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW((void)rng.discrete({-1.0, 2.0}), ContractViolation);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  std::uint64_t s1 = 0;
+  std::uint64_t s2 = 0;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_NE(s1, 0u);
+}
+
+}  // namespace
+}  // namespace ddc::stats

@@ -1,0 +1,62 @@
+#include <ddc/summaries/centroid.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+
+namespace ddc::summaries {
+namespace {
+
+using core::WeightedSummary;
+using linalg::Vector;
+
+TEST(CentroidPolicy, ValToSummaryIsIdentity) {
+  const Vector v{1.0, 2.0};
+  EXPECT_EQ(CentroidPolicy::val_to_summary(v), v);
+}
+
+TEST(CentroidPolicy, MergeSetIsWeightedAverage) {
+  const std::vector<WeightedSummary<Vector>> parts = {
+      {Vector{0.0, 0.0}, 1.0}, {Vector{3.0, 6.0}, 2.0}};
+  EXPECT_EQ(CentroidPolicy::merge_set(parts), (Vector{2.0, 4.0}));
+}
+
+TEST(CentroidPolicy, MergeSetRejectsEmptyAndNonPositive) {
+  EXPECT_THROW((void)CentroidPolicy::merge_set({}), ContractViolation);
+  EXPECT_THROW(
+      (void)CentroidPolicy::merge_set({{Vector{1.0}, -1.0}}),
+      ContractViolation);
+}
+
+TEST(CentroidPolicy, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(
+      CentroidPolicy::distance(Vector{0.0, 0.0}, Vector{3.0, 4.0}), 5.0);
+}
+
+TEST(CentroidPolicy, SummarizeMixtureWeightsValues) {
+  const std::vector<Vector> inputs = {Vector{0.0}, Vector{10.0}};
+  Vector aux(2);
+  aux[0] = 1.0;
+  aux[1] = 3.0;
+  EXPECT_EQ(CentroidPolicy::summarize_mixture(inputs, aux), (Vector{7.5}));
+}
+
+TEST(CentroidPolicy, SummarizeMixtureValidation) {
+  const std::vector<Vector> inputs = {Vector{0.0}};
+  EXPECT_THROW(
+      (void)CentroidPolicy::summarize_mixture(inputs, Vector{1.0, 2.0}),
+      ContractViolation);
+  EXPECT_THROW((void)CentroidPolicy::summarize_mixture(inputs, Vector{0.0}),
+               ContractViolation);
+}
+
+TEST(CentroidPolicy, ApproxEqual) {
+  EXPECT_TRUE(CentroidPolicy::approx_equal(Vector{1.0}, Vector{1.0 + 1e-12},
+                                           1e-9));
+  EXPECT_FALSE(CentroidPolicy::approx_equal(Vector{1.0}, Vector{1.1}, 1e-9));
+  EXPECT_FALSE(CentroidPolicy::approx_equal(Vector{1.0}, Vector{1.0, 2.0},
+                                            1e-9));
+}
+
+}  // namespace
+}  // namespace ddc::summaries

@@ -1,0 +1,76 @@
+#include <ddc/summaries/gaussian_summary.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/core/weight.hpp>
+
+namespace ddc::summaries {
+namespace {
+
+using core::Classification;
+using core::Collection;
+using core::Weight;
+using core::WeightedSummary;
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+
+TEST(GaussianPolicy, ValToSummaryIsPointMass) {
+  const Gaussian g = GaussianPolicy::val_to_summary(Vector{1.0, 2.0});
+  EXPECT_EQ(g.mean(), (Vector{1.0, 2.0}));
+  EXPECT_EQ(linalg::max_abs(g.cov()), 0.0);
+}
+
+TEST(GaussianPolicy, MergeSetMatchesMomentMatch) {
+  const Gaussian a(Vector{0.0}, Matrix{{1.0}});
+  const Gaussian b(Vector{4.0}, Matrix{{2.0}});
+  const std::vector<WeightedSummary<Gaussian>> parts = {{a, 1.0}, {b, 3.0}};
+  const Gaussian merged = GaussianPolicy::merge_set(parts);
+  EXPECT_NEAR(merged.mean()[0], 3.0, 1e-12);
+  // Law of total covariance: 0.25·1 + 0.75·2 + 0.25·9 + 0.75·1 = 4.75.
+  EXPECT_NEAR(merged.cov()(0, 0), 4.75, 1e-12);
+}
+
+TEST(GaussianPolicy, DistanceComparesOnlyMeans) {
+  const Gaussian a(Vector{0.0, 0.0}, Matrix::identity(2));
+  const Gaussian b(Vector{3.0, 4.0}, Matrix::identity(2) * 100.0);
+  EXPECT_DOUBLE_EQ(GaussianPolicy::distance(a, b), 5.0);
+}
+
+TEST(GaussianPolicy, SummarizeMixtureComputesWeightedMoments) {
+  const std::vector<Vector> inputs = {Vector{-1.0}, Vector{1.0}, Vector{9.0}};
+  Vector aux(3);
+  aux[0] = 1.0;
+  aux[1] = 1.0;
+  aux[2] = 0.0;  // value 9 not in this collection
+  const Gaussian g = GaussianPolicy::summarize_mixture(inputs, aux);
+  EXPECT_NEAR(g.mean()[0], 0.0, 1e-12);
+  EXPECT_NEAR(g.cov()(0, 0), 1.0, 1e-12);
+}
+
+TEST(GaussianPolicy, ApproxEqualChecksMeanAndCovariance) {
+  const Gaussian a(Vector{0.0}, Matrix{{1.0}});
+  const Gaussian b(Vector{0.0}, Matrix{{1.5}});
+  EXPECT_TRUE(GaussianPolicy::approx_equal(a, a, 1e-9));
+  EXPECT_FALSE(GaussianPolicy::approx_equal(a, b, 1e-9));
+}
+
+TEST(ToMixture, NormalizesQuantaIntoWeights) {
+  Classification<Gaussian> c;
+  c.add(Collection<Gaussian>{Gaussian(Vector{0.0}, Matrix{{1.0}}),
+                             Weight::from_quanta(300), {}});
+  c.add(Collection<Gaussian>{Gaussian(Vector{5.0}, Matrix{{1.0}}),
+                             Weight::from_quanta(100), {}});
+  const stats::GaussianMixture m = to_mixture(c);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_NEAR(m[0].weight, 0.75, 1e-12);
+  EXPECT_NEAR(m[1].weight, 0.25, 1e-12);
+}
+
+TEST(ToMixture, RejectsEmptyClassification) {
+  EXPECT_THROW((void)to_mixture(Classification<Gaussian>{}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace ddc::summaries

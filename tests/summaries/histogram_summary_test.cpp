@@ -1,0 +1,73 @@
+#include <ddc/summaries/histogram_summary.hpp>
+
+#include <gtest/gtest.h>
+
+namespace ddc::summaries {
+namespace {
+
+using core::WeightedSummary;
+using Policy = HistogramPolicy<DefaultBinning>;
+using stats::Histogram;
+
+TEST(HistogramPolicy, ValToSummaryPutsUnitMassInOneBin) {
+  const Histogram h = Policy::val_to_summary(3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+  EXPECT_DOUBLE_EQ(h.mass()[h.bin_of(3.0)], 1.0);
+}
+
+TEST(HistogramPolicy, MergeSetIsConvexCombination) {
+  const Histogram a = Policy::val_to_summary(-10.0);
+  const Histogram b = Policy::val_to_summary(10.0);
+  const Histogram merged =
+      Policy::merge_set({{a, 1.0}, {b, 3.0}});
+  EXPECT_NEAR(merged.total(), 1.0, 1e-12);  // normalized
+  EXPECT_NEAR(merged.mass()[merged.bin_of(-10.0)], 0.25, 1e-12);
+  EXPECT_NEAR(merged.mass()[merged.bin_of(10.0)], 0.75, 1e-12);
+}
+
+TEST(HistogramPolicy, MergeSetNormalizesUnnormalizedParts) {
+  Histogram raw = Policy::val_to_summary(5.0);
+  raw.scale(7.0);  // unnormalized part
+  const Histogram merged = Policy::merge_set({{raw, 2.0}});
+  EXPECT_NEAR(merged.total(), 1.0, 1e-12);
+  EXPECT_NEAR(merged.mass()[merged.bin_of(5.0)], 1.0, 1e-12);
+}
+
+TEST(HistogramPolicy, DistanceZeroIffSameShape) {
+  const Histogram a = Policy::val_to_summary(1.0);
+  const Histogram b = Policy::val_to_summary(1.0);
+  const Histogram c = Policy::val_to_summary(20.0);
+  EXPECT_NEAR(Policy::distance(a, b), 0.0, 1e-12);
+  EXPECT_NEAR(Policy::distance(a, c), 2.0, 1e-12);  // disjoint bins
+}
+
+TEST(HistogramPolicy, SummarizeMixtureMatchesManualHistogram) {
+  const std::vector<double> inputs = {-5.0, 0.0, 5.0};
+  linalg::Vector aux(3);
+  aux[0] = 1.0;
+  aux[1] = 0.5;
+  aux[2] = 0.0;
+  const Histogram h = Policy::summarize_mixture(inputs, aux);
+  EXPECT_NEAR(h.total(), 1.0, 1e-12);
+  EXPECT_NEAR(h.mass()[h.bin_of(-5.0)], 1.0 / 1.5, 1e-12);
+  EXPECT_NEAR(h.mass()[h.bin_of(0.0)], 0.5 / 1.5, 1e-12);
+  EXPECT_NEAR(h.mass()[h.bin_of(5.0)], 0.0, 1e-12);
+}
+
+TEST(HistogramPolicy, HistogramsCannotSeparateSubBinClusters) {
+  // The limitation the paper points out: two distinct clusters inside one
+  // bin are indistinguishable to the histogram summary, while remaining
+  // distinguishable to centroid/Gaussian summaries.
+  constexpr double bin_width =
+      (DefaultBinning::hi - DefaultBinning::lo) / DefaultBinning::bins;
+  const double x1 = 0.1 * bin_width;
+  const double x2 = 0.6 * bin_width;  // same bin as x1
+  ASSERT_EQ(Policy::val_to_summary(x1).bin_of(x1),
+            Policy::val_to_summary(x2).bin_of(x2));
+  EXPECT_NEAR(
+      Policy::distance(Policy::val_to_summary(x1), Policy::val_to_summary(x2)),
+      0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ddc::summaries

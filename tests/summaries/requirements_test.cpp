@@ -1,0 +1,212 @@
+// Parameterized property tests of the paper's instantiation requirements
+// R1–R4 (Section 4.2.1), run over every shipped summary policy. These are
+// the properties the convergence theorem assumes, so the suite checks them
+// directly rather than trusting the per-policy derivations.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/core/policy.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/rng.hpp>
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+#include <ddc/summaries/histogram_summary.hpp>
+
+namespace ddc::summaries {
+namespace {
+
+using core::WeightedSummary;
+using linalg::Vector;
+
+// ---------------------------------------------------------------------------
+// Per-policy generation traits.
+
+template <typename P>
+struct Gen;
+
+template <>
+struct Gen<CentroidPolicy> {
+  static CentroidPolicy::Value random_value(stats::Rng& rng) {
+    return Vector{rng.normal(), rng.normal(2.0, 3.0)};
+  }
+  static constexpr double tol = 1e-9;
+};
+
+template <>
+struct Gen<GaussianPolicy> {
+  static GaussianPolicy::Value random_value(stats::Rng& rng) {
+    return Vector{rng.normal(), rng.normal(2.0, 3.0)};
+  }
+  static constexpr double tol = 1e-8;
+};
+
+template <>
+struct Gen<HistogramPolicy<DefaultBinning>> {
+  static double random_value(stats::Rng& rng) { return rng.normal(0.0, 5.0); }
+  static constexpr double tol = 1e-9;
+};
+
+// ---------------------------------------------------------------------------
+
+template <typename P>
+class RequirementsTest : public ::testing::Test {
+ protected:
+  using Value = typename P::Value;
+  using Summary = typename P::Summary;
+
+  /// A fixed random input set (the paper's {val₁, …, valₙ}).
+  std::vector<Value> make_inputs(std::size_t n, stats::Rng& rng) {
+    std::vector<Value> inputs;
+    inputs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) inputs.push_back(Gen<P>::random_value(rng));
+    return inputs;
+  }
+
+  /// A random nonnegative mixture vector with a few nonzero entries.
+  Vector random_mixture(std::size_t n, stats::Rng& rng) {
+    Vector v(n);
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.5)) {
+        v[i] = rng.uniform(0.01, 1.0);
+        any = true;
+      }
+    }
+    if (!any) v[rng.uniform_index(n)] = rng.uniform(0.01, 1.0);
+    return v;
+  }
+};
+
+using Policies = ::testing::Types<CentroidPolicy, GaussianPolicy,
+                                  HistogramPolicy<DefaultBinning>>;
+TYPED_TEST_SUITE(RequirementsTest, Policies);
+
+// R2: valToSummary(valᵢ) = f(eᵢ).
+TYPED_TEST(RequirementsTest, R2ValuesMapToTheirSummaries) {
+  stats::Rng rng(101);
+  const auto inputs = this->make_inputs(8, rng);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto direct = TypeParam::val_to_summary(inputs[i]);
+    const auto via_mixture = TypeParam::summarize_mixture(
+        inputs, linalg::unit_vector(inputs.size(), i));
+    EXPECT_TRUE(TypeParam::approx_equal(direct, via_mixture,
+                                        Gen<TypeParam>::tol))
+        << "input " << i;
+  }
+}
+
+// R3: f(v) = f(αv) — summaries ignore weight scaling.
+TYPED_TEST(RequirementsTest, R3SummariesObliviousToWeightScaling) {
+  stats::Rng rng(102);
+  const auto inputs = this->make_inputs(10, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vector v = this->random_mixture(inputs.size(), rng);
+    const double alpha = rng.uniform(0.1, 10.0);
+    EXPECT_TRUE(TypeParam::approx_equal(
+        TypeParam::summarize_mixture(inputs, v),
+        TypeParam::summarize_mixture(inputs, v * alpha), Gen<TypeParam>::tol));
+  }
+}
+
+// R3 for merge_set: scaling all part weights must not change the merge.
+TYPED_TEST(RequirementsTest, R3MergeSetObliviousToWeightScaling) {
+  stats::Rng rng(103);
+  const auto inputs = this->make_inputs(10, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<WeightedSummary<typename TypeParam::Summary>> parts, scaled;
+    const double alpha = rng.uniform(0.1, 10.0);
+    for (int p = 0; p < 4; ++p) {
+      const Vector v = this->random_mixture(inputs.size(), rng);
+      const auto s = TypeParam::summarize_mixture(inputs, v);
+      const double w = linalg::norm1(v);
+      parts.push_back({s, w});
+      scaled.push_back({s, w * alpha});
+    }
+    EXPECT_TRUE(TypeParam::approx_equal(TypeParam::merge_set(parts),
+                                        TypeParam::merge_set(scaled),
+                                        Gen<TypeParam>::tol));
+  }
+}
+
+// R4: merging summaries equals summarizing the merged collection.
+TYPED_TEST(RequirementsTest, R4MergeCommutesWithSummarization) {
+  stats::Rng rng(104);
+  const auto inputs = this->make_inputs(12, rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t parts_count = 2 + trial % 4;
+    std::vector<WeightedSummary<typename TypeParam::Summary>> parts;
+    Vector sum(inputs.size());
+    for (std::size_t p = 0; p < parts_count; ++p) {
+      const Vector v = this->random_mixture(inputs.size(), rng);
+      parts.push_back(
+          {TypeParam::summarize_mixture(inputs, v), linalg::norm1(v)});
+      sum += v;
+    }
+    const auto merged = TypeParam::merge_set(parts);
+    const auto direct = TypeParam::summarize_mixture(inputs, sum);
+    EXPECT_TRUE(TypeParam::approx_equal(merged, direct, Gen<TypeParam>::tol))
+        << "trial " << trial;
+  }
+}
+
+// R1: dS(f(v₁), f(v₂)) ≤ ρ·dM(v₁, v₂) for some input-set-dependent ρ.
+// Statistical validation: calibrate ρ on coarse pairs, then check that no
+// fine (small-angle) pair exceeds a slack multiple of it — in particular
+// dS must vanish as the mixture-space angle vanishes.
+TYPED_TEST(RequirementsTest, R1SummaryDistanceLipschitzInMixtureAngle) {
+  stats::Rng rng(105);
+  const auto inputs = this->make_inputs(10, rng);
+
+  // Calibration: coarse random pairs.
+  double rho = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vector v1 = this->random_mixture(inputs.size(), rng);
+    const Vector v2 = this->random_mixture(inputs.size(), rng);
+    const double dm = linalg::angle_between(v1, v2);
+    if (dm < 1e-9) continue;
+    const double ds = TypeParam::distance(
+        TypeParam::summarize_mixture(inputs, v1),
+        TypeParam::summarize_mixture(inputs, v2));
+    rho = std::max(rho, ds / dm);
+  }
+  ASSERT_TRUE(std::isfinite(rho));
+  const double bound = 50.0 * std::max(rho, 1e-6);
+
+  // Verification: pairs at ever smaller angles must obey the same bound.
+  for (double eps : {1e-1, 1e-2, 1e-3, 1e-4}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const Vector v1 = this->random_mixture(inputs.size(), rng);
+      Vector v2 = v1;
+      for (std::size_t i = 0; i < v2.dim(); ++i) {
+        if (v2[i] > 0.0) v2[i] *= 1.0 + eps * rng.uniform(-1.0, 1.0);
+      }
+      const double dm = linalg::angle_between(v1, v2);
+      if (dm < 1e-12) continue;
+      const double ds = TypeParam::distance(
+          TypeParam::summarize_mixture(inputs, v1),
+          TypeParam::summarize_mixture(inputs, v2));
+      EXPECT_LE(ds, bound * dm) << "eps=" << eps << " trial=" << trial;
+    }
+  }
+}
+
+// Sanity: dS is a pseudo-metric — nonnegative, symmetric, zero on self.
+TYPED_TEST(RequirementsTest, DistanceIsPseudoMetricOnSummaries) {
+  stats::Rng rng(106);
+  const auto inputs = this->make_inputs(8, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s1 = TypeParam::summarize_mixture(
+        inputs, this->random_mixture(inputs.size(), rng));
+    const auto s2 = TypeParam::summarize_mixture(
+        inputs, this->random_mixture(inputs.size(), rng));
+    EXPECT_NEAR(TypeParam::distance(s1, s1), 0.0, 1e-12);
+    EXPECT_GE(TypeParam::distance(s1, s2), 0.0);
+    EXPECT_NEAR(TypeParam::distance(s1, s2), TypeParam::distance(s2, s1),
+                1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ddc::summaries

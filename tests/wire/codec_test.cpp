@@ -1,0 +1,95 @@
+#include <ddc/wire/codec.hpp>
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ddc::wire {
+namespace {
+
+TEST(Codec, FixedWidthRoundtrip) {
+  Encoder enc;
+  enc.put_u8(0xab);
+  enc.put_u32(0xdeadbeef);
+  enc.put_u64(0x0123456789abcdefULL);
+  enc.put_i64(-42);
+  enc.put_f64(3.14159);
+
+  Decoder dec(enc.bytes());
+  EXPECT_EQ(dec.get_u8(), 0xab);
+  EXPECT_EQ(dec.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.get_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(dec.get_i64(), -42);
+  EXPECT_EQ(dec.get_f64(), 3.14159);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(Codec, LittleEndianLayout) {
+  Encoder enc;
+  enc.put_u32(0x01020304);
+  EXPECT_EQ(static_cast<std::uint8_t>(enc.bytes()[0]), 0x04);
+  EXPECT_EQ(static_cast<std::uint8_t>(enc.bytes()[3]), 0x01);
+}
+
+TEST(Codec, VarintRoundtripAcrossMagnitudes) {
+  for (std::uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL,
+                          16384ULL, 1ULL << 32, ~0ULL}) {
+    Encoder enc;
+    enc.put_varint(v);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.get_varint(), v) << v;
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(Codec, VarintIsCompactForSmallValues) {
+  Encoder enc;
+  enc.put_varint(7);
+  EXPECT_EQ(enc.size(), 1u);
+  enc.put_varint(300);
+  EXPECT_EQ(enc.size(), 3u);  // +2 bytes
+}
+
+TEST(Codec, TruncatedReadThrows) {
+  Encoder enc;
+  enc.put_u32(5);
+  Decoder dec(enc.bytes());
+  EXPECT_THROW((void)dec.get_u64(), DecodeError);
+}
+
+TEST(Codec, NonCanonicalVarintRejected) {
+  const std::byte padded[] = {std::byte{0x80}, std::byte{0x00}};
+  Decoder dec(padded);
+  EXPECT_THROW((void)dec.get_varint(), DecodeError);
+}
+
+TEST(Codec, OverlongVarintRejected) {
+  std::vector<std::byte> bytes(10, std::byte{0xff});
+  Decoder dec(bytes);
+  EXPECT_THROW((void)dec.get_varint(), DecodeError);
+}
+
+TEST(Codec, ExpectDoneCatchesTrailingBytes) {
+  Encoder enc;
+  enc.put_u8(1);
+  enc.put_u8(2);
+  Decoder dec(enc.bytes());
+  (void)dec.get_u8();
+  EXPECT_THROW(dec.expect_done(), DecodeError);
+  (void)dec.get_u8();
+  EXPECT_NO_THROW(dec.expect_done());
+}
+
+TEST(Codec, SpecialDoublesSurviveBitCopy) {
+  Encoder enc;
+  enc.put_f64(-0.0);
+  enc.put_f64(1e-308);
+  Decoder dec(enc.bytes());
+  const double neg_zero = dec.get_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(dec.get_f64(), 1e-308);
+}
+
+}  // namespace
+}  // namespace ddc::wire

@@ -1,0 +1,88 @@
+// Decoder fuzzing: random and mutated byte buffers must either decode or
+// throw DecodeError — never crash, hang, or throw anything else. A sensor
+// node cannot let a corrupt radio packet take the protocol down.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/stats/rng.hpp>
+#include <ddc/wire/serialize.hpp>
+
+namespace ddc::wire {
+namespace {
+
+using core::Classification;
+using core::Collection;
+using core::Weight;
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+
+template <typename Fn>
+void expect_graceful(Fn decode_call) {
+  try {
+    decode_call();
+  } catch (const DecodeError&) {
+    // expected for malformed input
+  }
+  // Any other exception type (or a crash) fails the test via gtest.
+}
+
+TEST(DecoderFuzz, RandomBytesNeverEscapeDecodeError) {
+  stats::Rng rng(501);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::byte> bytes(rng.uniform_index(120));
+    for (auto& b : bytes) {
+      b = static_cast<std::byte>(rng.uniform_index(256));
+    }
+    expect_graceful([&] { (void)decode_classification<Gaussian>(bytes); });
+    expect_graceful([&] { (void)decode_classification<Vector>(bytes); });
+    expect_graceful([&] { (void)decode_push_sum(bytes); });
+    expect_graceful([&] { (void)peek_type(bytes); });
+  }
+}
+
+TEST(DecoderFuzz, SingleByteMutationsOfValidFrames) {
+  Classification<Gaussian> c;
+  c.add(Collection<Gaussian>{Gaussian(Vector{1.0, 2.0},
+                                      Matrix{{1.0, 0.2}, {0.2, 2.0}}),
+                             Weight::from_quanta(777), Vector{0.5, 0.25}});
+  c.add(Collection<Gaussian>{Gaussian::point_mass(Vector{-3.0, 4.0}),
+                             Weight::from_quanta(9), {}});
+  const auto valid = encode_classification(c, /*include_aux=*/true);
+
+  stats::Rng rng(502);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = valid;
+    const std::size_t pos = rng.uniform_index(mutated.size());
+    mutated[pos] = static_cast<std::byte>(rng.uniform_index(256));
+    expect_graceful([&] { (void)decode_classification<Gaussian>(mutated); });
+  }
+}
+
+TEST(DecoderFuzz, RandomTruncationsOfValidFrames) {
+  Classification<Vector> c;
+  for (int i = 0; i < 5; ++i) {
+    c.add(Collection<Vector>{Vector{1.0 * i, 2.0 * i, 3.0 * i},
+                             Weight::from_quanta(10 + i), {}});
+  }
+  const auto valid = encode_classification(c);
+  stats::Rng rng(503);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::size_t len = rng.uniform_index(valid.size());
+    const std::span<const std::byte> prefix(valid.data(), len);
+    EXPECT_THROW((void)decode_classification<Vector>(prefix), DecodeError);
+  }
+}
+
+TEST(DecoderFuzz, ValidFramesStillDecodeAfterFuzzRuns) {
+  // Sanity: the fuzzing above exercised shared state-free code; a valid
+  // frame must still round-trip.
+  Classification<Vector> c;
+  c.add(Collection<Vector>{Vector{42.0}, Weight::from_quanta(5), {}});
+  const auto decoded = decode_classification<Vector>(encode_classification(c));
+  EXPECT_EQ(decoded[0].summary, (Vector{42.0}));
+}
+
+}  // namespace
+}  // namespace ddc::wire

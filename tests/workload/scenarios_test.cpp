@@ -1,0 +1,90 @@
+#include <ddc/workload/scenarios.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/stats/descriptive.hpp>
+
+namespace ddc::workload {
+namespace {
+
+using linalg::Vector;
+
+TEST(Fig2Mixture, HasThreeComponentsInR2) {
+  const stats::GaussianMixture m = fig2_mixture();
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.dim(), 2u);
+  EXPECT_NEAR(m.total_weight(), 1.0, 1e-12);
+}
+
+TEST(Fig2Mixture, RightComponentIsHotterWithLargerVariance) {
+  const stats::GaussianMixture m = fig2_mixture();
+  // Identify the rightmost component (largest x mean).
+  std::size_t right = 0;
+  for (std::size_t i = 1; i < m.size(); ++i) {
+    if (m[i].gaussian.mean()[0] > m[right].gaussian.mean()[0]) right = i;
+  }
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (i == right) continue;
+    EXPECT_GT(m[right].gaussian.mean()[1], m[i].gaussian.mean()[1]);
+    EXPECT_GT(m[right].gaussian.cov()(1, 1), m[i].gaussian.cov()(1, 1));
+  }
+}
+
+TEST(SampleInputs, CountAndDimension) {
+  stats::Rng rng(301);
+  const auto inputs = sample_inputs(fig2_mixture(), 123, rng);
+  EXPECT_EQ(inputs.size(), 123u);
+  for (const auto& v : inputs) EXPECT_EQ(v.dim(), 2u);
+}
+
+TEST(OutlierScenario, PaperDefaultsProduce1000Values) {
+  stats::Rng rng(302);
+  const OutlierScenario s = outlier_scenario(10.0, rng);
+  EXPECT_EQ(s.inputs.size(), 1000u);
+  EXPECT_EQ(s.outlier_flags.size(), 1000u);
+  EXPECT_EQ(s.true_mean, (Vector{0.0, 0.0}));
+}
+
+TEST(OutlierScenario, LargeDeltaFlagsEssentiallyAllPlantedOutliers) {
+  stats::Rng rng(303);
+  const OutlierScenario s = outlier_scenario(20.0, rng);
+  std::size_t flagged_planted = 0;
+  for (std::size_t i = 950; i < 1000; ++i) {
+    flagged_planted += s.outlier_flags[i] ? 1 : 0;
+  }
+  EXPECT_EQ(flagged_planted, 50u);  // at Δ=20 every planted value is far out
+}
+
+TEST(OutlierScenario, ZeroDeltaFlagsAlmostNothing) {
+  stats::Rng rng(304);
+  const OutlierScenario s = outlier_scenario(0.0, rng);
+  std::size_t flagged = 0;
+  for (const bool f : s.outlier_flags) flagged += f ? 1 : 0;
+  // At Δ=0 the "outliers" sit inside the good cluster; only genuine tail
+  // values of the good distribution are flagged (a handful at most).
+  EXPECT_LT(flagged, 10u);
+}
+
+TEST(OutlierScenario, GoodValuesCenterNearOrigin) {
+  stats::Rng rng(305);
+  const OutlierScenario s = outlier_scenario(15.0, rng);
+  std::vector<stats::WeightedValue> good;
+  for (std::size_t i = 0; i < 950; ++i) good.push_back({s.inputs[i], 1.0});
+  EXPECT_LT(linalg::distance2(stats::weighted_mean(good), s.true_mean), 0.15);
+}
+
+TEST(LoadBalancing, TwoClustersWithinUnitInterval) {
+  stats::Rng rng(306);
+  const auto inputs = load_balancing_inputs(100, rng);
+  std::size_t low = 0;
+  for (const auto& v : inputs) {
+    ASSERT_EQ(v.dim(), 1u);
+    EXPECT_GE(v[0], 0.0);
+    EXPECT_LE(v[0], 1.0);
+    if (v[0] < 0.5) ++low;
+  }
+  EXPECT_EQ(low, 50u);
+}
+
+}  // namespace
+}  // namespace ddc::workload

@@ -1,0 +1,297 @@
+// ddcsim — command-line driver for the distributed classification
+// simulator.
+//
+// Examples:
+//   ddcsim                                         # defaults: GM on clusters
+//   ddcsim --protocol centroid --topology ring --nodes 64 --rounds 500
+//   ddcsim --workload outliers --delta 10 --crash-prob 0.05
+//   ddcsim --workload fence --k 7 --nodes 500 --topology geometric
+//   ddcsim --protocol pushsum --workload loads --csv
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include <ddc/cli/flags.hpp>
+#include <ddc/gossip/dkmeans.hpp>
+#include <ddc/gossip/network.hpp>
+#include <ddc/io/table.hpp>
+#include <ddc/metrics/classification_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/sim/trace.hpp>
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+namespace {
+
+using ddc::linalg::Vector;
+
+struct Config {
+  std::string protocol;
+  std::string workload;
+  std::string topology;
+  std::size_t nodes;
+  std::size_t k;
+  std::size_t rounds;
+  std::size_t report_every;
+  double delta;
+  double crash_prob;
+  double loss_prob;
+  std::uint64_t seed;
+  int quanta_exp;
+  bool push_pull;
+  bool round_robin;
+  bool csv;
+  std::string trace_path;
+};
+
+ddc::sim::Topology make_topology(const Config& config, ddc::stats::Rng& rng) {
+  const std::size_t n = config.nodes;
+  if (config.topology == "complete") return ddc::sim::Topology::complete(n);
+  if (config.topology == "ring") return ddc::sim::Topology::ring(n);
+  if (config.topology == "dring") return ddc::sim::Topology::directed_ring(n);
+  if (config.topology == "line") return ddc::sim::Topology::line(n);
+  if (config.topology == "star") return ddc::sim::Topology::star(n);
+  if (config.topology == "grid" || config.topology == "torus") {
+    std::size_t rows = 1;
+    while ((rows + 1) * (rows + 1) <= n) ++rows;
+    return ddc::sim::Topology::grid(rows, (n + rows - 1) / rows,
+                                    config.topology == "torus");
+  }
+  if (config.topology == "geometric") {
+    return ddc::sim::Topology::random_geometric(
+        n, std::max(0.15, 2.0 / std::sqrt(static_cast<double>(n))), rng);
+  }
+  if (config.topology == "er") {
+    return ddc::sim::Topology::erdos_renyi(
+        n, std::max(0.05, 8.0 / static_cast<double>(n)), rng);
+  }
+  throw ddc::ConfigError("unknown topology '" + config.topology + "'");
+}
+
+std::vector<Vector> make_inputs(const Config& config, ddc::stats::Rng& rng) {
+  if (config.workload == "clusters") {
+    std::vector<Vector> inputs;
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+      inputs.push_back(Vector{i % 2 == 0 ? rng.normal(0.0, 1.0)
+                                         : rng.normal(25.0, 2.0)});
+    }
+    return inputs;
+  }
+  if (config.workload == "fence") {
+    return ddc::workload::sample_inputs(ddc::workload::fig2_mixture(),
+                                        config.nodes, rng);
+  }
+  if (config.workload == "outliers") {
+    const std::size_t n_out = std::max<std::size_t>(1, config.nodes / 20);
+    return ddc::workload::outlier_scenario(config.delta, rng,
+                                           config.nodes - n_out, n_out)
+        .inputs;
+  }
+  if (config.workload == "loads") {
+    return ddc::workload::load_balancing_inputs(config.nodes, rng);
+  }
+  throw ddc::ConfigError("unknown workload '" + config.workload + "'");
+}
+
+ddc::sim::RoundRunnerOptions runner_options(const Config& config) {
+  ddc::sim::RoundRunnerOptions options;
+  options.selection = config.round_robin
+                          ? ddc::sim::NeighborSelection::round_robin
+                          : ddc::sim::NeighborSelection::uniform_random;
+  options.pattern = config.push_pull ? ddc::sim::GossipPattern::push_pull
+                                     : ddc::sim::GossipPattern::push;
+  options.crash_probability = config.crash_prob;
+  options.message_loss_probability = config.loss_prob;
+  options.seed = config.seed + 1;
+  return options;
+}
+
+void emit(const Config& config, const ddc::io::Table& table) {
+  if (config.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+/// Writes the recorded trace (if requested) and reports where it went.
+void flush_trace(const Config& config, const ddc::sim::TraceRecorder& trace) {
+  if (config.trace_path.empty()) return;
+  std::ofstream out(config.trace_path);
+  if (!out) {
+    throw ddc::ConfigError("cannot write trace file '" + config.trace_path +
+                           "'");
+  }
+  trace.write_csv(out);
+  std::cout << "\ntrace: " << trace.events().size() << " events -> "
+            << config.trace_path << '\n';
+}
+
+template <typename Policy, typename Node, typename SummaryPrinter>
+int run_classifier(const Config& config, ddc::sim::Topology topology,
+                   std::vector<Node> nodes, SummaryPrinter print_summary) {
+  ddc::sim::RoundRunner<Node> runner(std::move(topology), std::move(nodes),
+                                     runner_options(config));
+  ddc::sim::TraceRecorder trace;
+  if (!config.trace_path.empty()) runner.set_trace(&trace);
+
+  ddc::io::Table progress({"round", "alive", "disagreement"}, 6);
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    runner.run_round();
+    if ((r + 1) % config.report_every == 0 || r + 1 == config.rounds) {
+      progress.add_row(
+          {static_cast<long long>(r + 1),
+           static_cast<long long>(runner.alive_count()),
+           ddc::metrics::max_disagreement_vs_first<Policy>(runner.nodes())});
+    }
+  }
+  emit(config, progress);
+
+  std::cout << "\nnode 0's classification after " << config.rounds
+            << " rounds:\n";
+  ddc::io::Table result({"collection", "share", "summary"});
+  const auto& c = runner.nodes()[0].classification();
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    result.add_row({static_cast<long long>(j), c.relative_weight(j),
+                    print_summary(c[j].summary)});
+  }
+  emit(config, result);
+  flush_trace(config, trace);
+  return 0;
+}
+
+int run_push_sum(const Config& config, ddc::sim::Topology topology,
+                 const std::vector<Vector>& inputs) {
+  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner(
+      std::move(topology), ddc::gossip::make_push_sum_nodes(inputs),
+      runner_options(config));
+  ddc::sim::TraceRecorder trace;
+  if (!config.trace_path.empty()) runner.set_trace(&trace);
+
+  // True average for reference.
+  Vector truth(inputs.front().dim());
+  for (const auto& v : inputs) truth += v / static_cast<double>(inputs.size());
+
+  ddc::io::Table progress({"round", "alive", "max estimate error"}, 6);
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    runner.run_round();
+    if ((r + 1) % config.report_every == 0 || r + 1 == config.rounds) {
+      double worst = 0.0;
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (!runner.alive(i)) continue;
+        worst = std::max(
+            worst, ddc::linalg::distance2(runner.nodes()[i].estimate(), truth));
+      }
+      progress.add_row({static_cast<long long>(r + 1),
+                        static_cast<long long>(runner.alive_count()), worst});
+    }
+  }
+  emit(config, progress);
+  std::ostringstream estimate;
+  estimate << runner.nodes()[0].estimate();
+  std::cout << "\nnode 0's average estimate: " << estimate.str() << '\n';
+  flush_trace(config, trace);
+  return 0;
+}
+
+std::string describe(const Vector& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+std::string describe(const ddc::stats::Gaussian& g) {
+  std::ostringstream os;
+  os << "N(" << g.mean() << ", diag≈[";
+  for (std::size_t i = 0; i < g.dim(); ++i) {
+    if (i > 0) os << ", ";
+    os << g.cov()(i, i);
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddc::cli::Flags flags("ddcsim",
+                        "gossip-based distributed data classification "
+                        "simulator (Eyal, Keidar & Rom, PODC 2010)");
+  flags.declare("protocol", "gm | centroid | pushsum", "gm");
+  flags.declare("workload", "clusters | fence | outliers | loads", "clusters");
+  flags.declare("topology",
+                "complete | ring | dring | line | star | grid | torus | "
+                "geometric | er",
+                "complete");
+  flags.declare("nodes", "number of nodes", "200");
+  flags.declare("k", "max collections per node", "2");
+  flags.declare("rounds", "gossip rounds to run", "100");
+  flags.declare("report-every", "progress row interval", "10");
+  flags.declare("delta", "outlier distance (outliers workload)", "10");
+  flags.declare("crash-prob", "per-round crash probability", "0");
+  flags.declare("loss-prob", "per-message loss probability", "0");
+  flags.declare("seed", "RNG seed", "1");
+  flags.declare("quanta-exp", "weight quanta per unit = 2^this", "20");
+  flags.declare("trace", "write an event trace CSV to this path", "");
+  flags.declare_bool("push-pull", "use push-pull instead of push");
+  flags.declare_bool("round-robin", "round-robin neighbor selection");
+  flags.declare_bool("csv", "emit CSV instead of aligned tables");
+
+  try {
+    if (!flags.parse(argc, argv)) {
+      std::cout << flags.help_text();
+      return 0;
+    }
+    const Config config{
+        flags.get("protocol"),
+        flags.get("workload"),
+        flags.get("topology"),
+        static_cast<std::size_t>(flags.get_int("nodes")),
+        static_cast<std::size_t>(flags.get_int("k")),
+        static_cast<std::size_t>(flags.get_int("rounds")),
+        static_cast<std::size_t>(flags.get_int("report-every")),
+        flags.get_double("delta"),
+        flags.get_double("crash-prob"),
+        flags.get_double("loss-prob"),
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<int>(flags.get_int("quanta-exp")),
+        flags.get_bool("push-pull"),
+        flags.get_bool("round-robin"),
+        flags.get_bool("csv"),
+        flags.get("trace"),
+    };
+    if (config.nodes < 2) throw ddc::ConfigError("--nodes must be ≥ 2");
+    if (config.quanta_exp < 0 || config.quanta_exp > 62) {
+      throw ddc::ConfigError("--quanta-exp must be in [0, 62]");
+    }
+
+    ddc::stats::Rng rng(config.seed);
+    const std::vector<Vector> inputs = make_inputs(config, rng);
+    ddc::sim::Topology topology = make_topology(config, rng);
+
+    ddc::gossip::NetworkConfig net;
+    net.k = config.k;
+    net.quanta_per_unit = std::int64_t{1} << config.quanta_exp;
+    net.seed = config.seed;
+
+    if (config.protocol == "gm") {
+      return run_classifier<ddc::summaries::GaussianPolicy>(
+          config, std::move(topology), ddc::gossip::make_gm_nodes(inputs, net),
+          [](const ddc::stats::Gaussian& g) { return describe(g); });
+    }
+    if (config.protocol == "centroid") {
+      return run_classifier<ddc::summaries::CentroidPolicy>(
+          config, std::move(topology),
+          ddc::gossip::make_centroid_nodes(inputs, net),
+          [](const Vector& v) { return describe(v); });
+    }
+    if (config.protocol == "pushsum") {
+      return run_push_sum(config, std::move(topology), inputs);
+    }
+    throw ddc::ConfigError("unknown protocol '" + config.protocol + "'");
+  } catch (const ddc::Error& e) {
+    std::cerr << "ddcsim: " << e.what() << '\n';
+    return 1;
+  }
+}
