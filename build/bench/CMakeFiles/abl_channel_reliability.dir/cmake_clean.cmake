@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_channel_reliability.dir/abl_channel_reliability.cpp.o"
+  "CMakeFiles/abl_channel_reliability.dir/abl_channel_reliability.cpp.o.d"
+  "abl_channel_reliability"
+  "abl_channel_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_channel_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

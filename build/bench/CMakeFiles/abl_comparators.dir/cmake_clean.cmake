@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_comparators.dir/abl_comparators.cpp.o"
+  "CMakeFiles/abl_comparators.dir/abl_comparators.cpp.o.d"
+  "abl_comparators"
+  "abl_comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dimensionality.dir/abl_dimensionality.cpp.o"
+  "CMakeFiles/abl_dimensionality.dir/abl_dimensionality.cpp.o.d"
+  "abl_dimensionality"
+  "abl_dimensionality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_em_restarts.dir/abl_em_restarts.cpp.o"
+  "CMakeFiles/abl_em_restarts.dir/abl_em_restarts.cpp.o.d"
+  "abl_em_restarts"
+  "abl_em_restarts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_em_restarts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gossip_pattern.dir/abl_gossip_pattern.cpp.o"
+  "CMakeFiles/abl_gossip_pattern.dir/abl_gossip_pattern.cpp.o.d"
+  "abl_gossip_pattern"
+  "abl_gossip_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gossip_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_histogram_baseline.dir/abl_histogram_baseline.cpp.o"
+  "CMakeFiles/abl_histogram_baseline.dir/abl_histogram_baseline.cpp.o.d"
+  "abl_histogram_baseline"
+  "abl_histogram_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_histogram_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

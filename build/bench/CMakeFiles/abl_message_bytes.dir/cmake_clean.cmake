@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_message_bytes.dir/abl_message_bytes.cpp.o"
+  "CMakeFiles/abl_message_bytes.dir/abl_message_bytes.cpp.o.d"
+  "abl_message_bytes"
+  "abl_message_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_message_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

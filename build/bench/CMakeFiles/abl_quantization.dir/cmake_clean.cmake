@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_quantization.dir/abl_quantization.cpp.o"
+  "CMakeFiles/abl_quantization.dir/abl_quantization.cpp.o.d"
+  "abl_quantization"
+  "abl_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_gm_classification.dir/fig2_gm_classification.cpp.o"
+  "CMakeFiles/fig2_gm_classification.dir/fig2_gm_classification.cpp.o.d"
+  "fig2_gm_classification"
+  "fig2_gm_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_gm_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_outlier_removal.dir/fig3_outlier_removal.cpp.o"
+  "CMakeFiles/fig3_outlier_removal.dir/fig3_outlier_removal.cpp.o.d"
+  "fig3_outlier_removal"
+  "fig3_outlier_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_outlier_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_outlier_removal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_crash_robustness.dir/fig4_crash_robustness.cpp.o"
+  "CMakeFiles/fig4_crash_robustness.dir/fig4_crash_robustness.cpp.o.d"
+  "fig4_crash_robustness"
+  "fig4_crash_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_crash_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

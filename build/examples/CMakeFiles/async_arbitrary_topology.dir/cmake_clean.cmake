@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_arbitrary_topology.dir/async_arbitrary_topology.cpp.o"
+  "CMakeFiles/async_arbitrary_topology.dir/async_arbitrary_topology.cpp.o.d"
+  "async_arbitrary_topology"
+  "async_arbitrary_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_arbitrary_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

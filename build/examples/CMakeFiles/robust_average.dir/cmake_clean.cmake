@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_average.dir/robust_average.cpp.o"
+  "CMakeFiles/robust_average.dir/robust_average.cpp.o.d"
+  "robust_average"
+  "robust_average.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_average.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

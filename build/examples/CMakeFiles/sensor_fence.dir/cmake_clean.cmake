@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_fence.dir/sensor_fence.cpp.o"
+  "CMakeFiles/sensor_fence.dir/sensor_fence.cpp.o.d"
+  "sensor_fence"
+  "sensor_fence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_fence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verified_run.dir/verified_run.cpp.o"
+  "CMakeFiles/verified_run.dir/verified_run.cpp.o.d"
+  "verified_run"
+  "verified_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verified_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

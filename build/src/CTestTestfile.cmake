@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("stats")
+subdirs("core")
+subdirs("summaries")
+subdirs("em")
+subdirs("partition")
+subdirs("sim")
+subdirs("gossip")
+subdirs("wire")
+subdirs("metrics")
+subdirs("workload")
+subdirs("io")
+subdirs("cli")
+subdirs("audit")

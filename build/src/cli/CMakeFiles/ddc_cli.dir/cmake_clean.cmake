@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_cli.dir/src/flags.cpp.o"
+  "CMakeFiles/ddc_cli.dir/src/flags.cpp.o.d"
+  "libddc_cli.a"
+  "libddc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

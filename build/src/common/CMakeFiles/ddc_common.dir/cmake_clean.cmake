@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_common.dir/src/error.cpp.o"
+  "CMakeFiles/ddc_common.dir/src/error.cpp.o.d"
+  "libddc_common.a"
+  "libddc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

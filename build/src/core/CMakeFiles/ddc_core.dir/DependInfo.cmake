@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/policy.cpp" "src/core/CMakeFiles/ddc_core.dir/src/policy.cpp.o" "gcc" "src/core/CMakeFiles/ddc_core.dir/src/policy.cpp.o.d"
+  "/root/repo/src/core/src/weight.cpp" "src/core/CMakeFiles/ddc_core.dir/src/weight.cpp.o" "gcc" "src/core/CMakeFiles/ddc_core.dir/src/weight.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

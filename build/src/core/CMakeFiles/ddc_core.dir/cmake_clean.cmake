@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_core.dir/src/policy.cpp.o"
+  "CMakeFiles/ddc_core.dir/src/policy.cpp.o.d"
+  "CMakeFiles/ddc_core.dir/src/weight.cpp.o"
+  "CMakeFiles/ddc_core.dir/src/weight.cpp.o.d"
+  "libddc_core.a"
+  "libddc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/src/em_points.cpp" "src/em/CMakeFiles/ddc_em.dir/src/em_points.cpp.o" "gcc" "src/em/CMakeFiles/ddc_em.dir/src/em_points.cpp.o.d"
+  "/root/repo/src/em/src/kmeans.cpp" "src/em/CMakeFiles/ddc_em.dir/src/kmeans.cpp.o" "gcc" "src/em/CMakeFiles/ddc_em.dir/src/kmeans.cpp.o.d"
+  "/root/repo/src/em/src/mixture_reduction.cpp" "src/em/CMakeFiles/ddc_em.dir/src/mixture_reduction.cpp.o" "gcc" "src/em/CMakeFiles/ddc_em.dir/src/mixture_reduction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

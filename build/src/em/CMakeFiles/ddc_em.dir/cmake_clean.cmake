@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_em.dir/src/em_points.cpp.o"
+  "CMakeFiles/ddc_em.dir/src/em_points.cpp.o.d"
+  "CMakeFiles/ddc_em.dir/src/kmeans.cpp.o"
+  "CMakeFiles/ddc_em.dir/src/kmeans.cpp.o.d"
+  "CMakeFiles/ddc_em.dir/src/mixture_reduction.cpp.o"
+  "CMakeFiles/ddc_em.dir/src/mixture_reduction.cpp.o.d"
+  "libddc_em.a"
+  "libddc_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_gossip.dir/src/dkmeans.cpp.o"
+  "CMakeFiles/ddc_gossip.dir/src/dkmeans.cpp.o.d"
+  "CMakeFiles/ddc_gossip.dir/src/push_sum.cpp.o"
+  "CMakeFiles/ddc_gossip.dir/src/push_sum.cpp.o.d"
+  "libddc_gossip.a"
+  "libddc_gossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/src/ascii_canvas.cpp" "src/io/CMakeFiles/ddc_io.dir/src/ascii_canvas.cpp.o" "gcc" "src/io/CMakeFiles/ddc_io.dir/src/ascii_canvas.cpp.o.d"
+  "/root/repo/src/io/src/table.cpp" "src/io/CMakeFiles/ddc_io.dir/src/table.cpp.o" "gcc" "src/io/CMakeFiles/ddc_io.dir/src/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_io.dir/src/ascii_canvas.cpp.o"
+  "CMakeFiles/ddc_io.dir/src/ascii_canvas.cpp.o.d"
+  "CMakeFiles/ddc_io.dir/src/table.cpp.o"
+  "CMakeFiles/ddc_io.dir/src/table.cpp.o.d"
+  "libddc_io.a"
+  "libddc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

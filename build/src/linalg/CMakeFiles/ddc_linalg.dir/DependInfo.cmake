@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/src/cholesky.cpp" "src/linalg/CMakeFiles/ddc_linalg.dir/src/cholesky.cpp.o" "gcc" "src/linalg/CMakeFiles/ddc_linalg.dir/src/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/src/eigen_sym.cpp" "src/linalg/CMakeFiles/ddc_linalg.dir/src/eigen_sym.cpp.o" "gcc" "src/linalg/CMakeFiles/ddc_linalg.dir/src/eigen_sym.cpp.o.d"
+  "/root/repo/src/linalg/src/ldlt.cpp" "src/linalg/CMakeFiles/ddc_linalg.dir/src/ldlt.cpp.o" "gcc" "src/linalg/CMakeFiles/ddc_linalg.dir/src/ldlt.cpp.o.d"
+  "/root/repo/src/linalg/src/matrix.cpp" "src/linalg/CMakeFiles/ddc_linalg.dir/src/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/ddc_linalg.dir/src/matrix.cpp.o.d"
+  "/root/repo/src/linalg/src/vector.cpp" "src/linalg/CMakeFiles/ddc_linalg.dir/src/vector.cpp.o" "gcc" "src/linalg/CMakeFiles/ddc_linalg.dir/src/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_linalg.dir/src/cholesky.cpp.o"
+  "CMakeFiles/ddc_linalg.dir/src/cholesky.cpp.o.d"
+  "CMakeFiles/ddc_linalg.dir/src/eigen_sym.cpp.o"
+  "CMakeFiles/ddc_linalg.dir/src/eigen_sym.cpp.o.d"
+  "CMakeFiles/ddc_linalg.dir/src/ldlt.cpp.o"
+  "CMakeFiles/ddc_linalg.dir/src/ldlt.cpp.o.d"
+  "CMakeFiles/ddc_linalg.dir/src/matrix.cpp.o"
+  "CMakeFiles/ddc_linalg.dir/src/matrix.cpp.o.d"
+  "CMakeFiles/ddc_linalg.dir/src/vector.cpp.o"
+  "CMakeFiles/ddc_linalg.dir/src/vector.cpp.o.d"
+  "libddc_linalg.a"
+  "libddc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/src/gaussian_metrics.cpp" "src/metrics/CMakeFiles/ddc_metrics.dir/src/gaussian_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/ddc_metrics.dir/src/gaussian_metrics.cpp.o.d"
+  "/root/repo/src/metrics/src/outlier_metrics.cpp" "src/metrics/CMakeFiles/ddc_metrics.dir/src/outlier_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/ddc_metrics.dir/src/outlier_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/summaries/CMakeFiles/ddc_summaries.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_metrics.dir/src/gaussian_metrics.cpp.o"
+  "CMakeFiles/ddc_metrics.dir/src/gaussian_metrics.cpp.o.d"
+  "CMakeFiles/ddc_metrics.dir/src/outlier_metrics.cpp.o"
+  "CMakeFiles/ddc_metrics.dir/src/outlier_metrics.cpp.o.d"
+  "libddc_metrics.a"
+  "libddc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

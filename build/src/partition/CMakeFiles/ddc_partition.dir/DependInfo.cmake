@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/src/em_partition.cpp" "src/partition/CMakeFiles/ddc_partition.dir/src/em_partition.cpp.o" "gcc" "src/partition/CMakeFiles/ddc_partition.dir/src/em_partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/summaries/CMakeFiles/ddc_summaries.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ddc_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_partition.dir/src/em_partition.cpp.o"
+  "CMakeFiles/ddc_partition.dir/src/em_partition.cpp.o.d"
+  "libddc_partition.a"
+  "libddc_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

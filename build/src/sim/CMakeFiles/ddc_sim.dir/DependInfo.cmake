@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/src/event_queue.cpp" "src/sim/CMakeFiles/ddc_sim.dir/src/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/ddc_sim.dir/src/event_queue.cpp.o.d"
+  "/root/repo/src/sim/src/topology.cpp" "src/sim/CMakeFiles/ddc_sim.dir/src/topology.cpp.o" "gcc" "src/sim/CMakeFiles/ddc_sim.dir/src/topology.cpp.o.d"
+  "/root/repo/src/sim/src/trace.cpp" "src/sim/CMakeFiles/ddc_sim.dir/src/trace.cpp.o" "gcc" "src/sim/CMakeFiles/ddc_sim.dir/src/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_sim.dir/src/event_queue.cpp.o"
+  "CMakeFiles/ddc_sim.dir/src/event_queue.cpp.o.d"
+  "CMakeFiles/ddc_sim.dir/src/topology.cpp.o"
+  "CMakeFiles/ddc_sim.dir/src/topology.cpp.o.d"
+  "CMakeFiles/ddc_sim.dir/src/trace.cpp.o"
+  "CMakeFiles/ddc_sim.dir/src/trace.cpp.o.d"
+  "libddc_sim.a"
+  "libddc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/src/descriptive.cpp" "src/stats/CMakeFiles/ddc_stats.dir/src/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/ddc_stats.dir/src/descriptive.cpp.o.d"
+  "/root/repo/src/stats/src/gaussian.cpp" "src/stats/CMakeFiles/ddc_stats.dir/src/gaussian.cpp.o" "gcc" "src/stats/CMakeFiles/ddc_stats.dir/src/gaussian.cpp.o.d"
+  "/root/repo/src/stats/src/histogram.cpp" "src/stats/CMakeFiles/ddc_stats.dir/src/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/ddc_stats.dir/src/histogram.cpp.o.d"
+  "/root/repo/src/stats/src/mixture.cpp" "src/stats/CMakeFiles/ddc_stats.dir/src/mixture.cpp.o" "gcc" "src/stats/CMakeFiles/ddc_stats.dir/src/mixture.cpp.o.d"
+  "/root/repo/src/stats/src/mixture_distance.cpp" "src/stats/CMakeFiles/ddc_stats.dir/src/mixture_distance.cpp.o" "gcc" "src/stats/CMakeFiles/ddc_stats.dir/src/mixture_distance.cpp.o.d"
+  "/root/repo/src/stats/src/rng.cpp" "src/stats/CMakeFiles/ddc_stats.dir/src/rng.cpp.o" "gcc" "src/stats/CMakeFiles/ddc_stats.dir/src/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

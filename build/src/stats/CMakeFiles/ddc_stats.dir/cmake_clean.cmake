@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_stats.dir/src/descriptive.cpp.o"
+  "CMakeFiles/ddc_stats.dir/src/descriptive.cpp.o.d"
+  "CMakeFiles/ddc_stats.dir/src/gaussian.cpp.o"
+  "CMakeFiles/ddc_stats.dir/src/gaussian.cpp.o.d"
+  "CMakeFiles/ddc_stats.dir/src/histogram.cpp.o"
+  "CMakeFiles/ddc_stats.dir/src/histogram.cpp.o.d"
+  "CMakeFiles/ddc_stats.dir/src/mixture.cpp.o"
+  "CMakeFiles/ddc_stats.dir/src/mixture.cpp.o.d"
+  "CMakeFiles/ddc_stats.dir/src/mixture_distance.cpp.o"
+  "CMakeFiles/ddc_stats.dir/src/mixture_distance.cpp.o.d"
+  "CMakeFiles/ddc_stats.dir/src/rng.cpp.o"
+  "CMakeFiles/ddc_stats.dir/src/rng.cpp.o.d"
+  "libddc_stats.a"
+  "libddc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

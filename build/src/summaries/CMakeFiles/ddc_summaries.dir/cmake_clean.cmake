@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_summaries.dir/src/centroid.cpp.o"
+  "CMakeFiles/ddc_summaries.dir/src/centroid.cpp.o.d"
+  "CMakeFiles/ddc_summaries.dir/src/gaussian_summary.cpp.o"
+  "CMakeFiles/ddc_summaries.dir/src/gaussian_summary.cpp.o.d"
+  "libddc_summaries.a"
+  "libddc_summaries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_summaries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

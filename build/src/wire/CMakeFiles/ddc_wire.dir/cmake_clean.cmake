@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_wire.dir/src/codec.cpp.o"
+  "CMakeFiles/ddc_wire.dir/src/codec.cpp.o.d"
+  "CMakeFiles/ddc_wire.dir/src/serialize.cpp.o"
+  "CMakeFiles/ddc_wire.dir/src/serialize.cpp.o.d"
+  "libddc_wire.a"
+  "libddc_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

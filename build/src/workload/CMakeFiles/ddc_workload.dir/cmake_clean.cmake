@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddc_workload.dir/src/scenarios.cpp.o"
+  "CMakeFiles/ddc_workload.dir/src/scenarios.cpp.o.d"
+  "libddc_workload.a"
+  "libddc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_tests.dir/em/em_points_test.cpp.o"
+  "CMakeFiles/em_tests.dir/em/em_points_test.cpp.o.d"
+  "CMakeFiles/em_tests.dir/em/kmeans_test.cpp.o"
+  "CMakeFiles/em_tests.dir/em/kmeans_test.cpp.o.d"
+  "CMakeFiles/em_tests.dir/em/mixture_reduction_test.cpp.o"
+  "CMakeFiles/em_tests.dir/em/mixture_reduction_test.cpp.o.d"
+  "CMakeFiles/em_tests.dir/em/select_k_test.cpp.o"
+  "CMakeFiles/em_tests.dir/em/select_k_test.cpp.o.d"
+  "em_tests"
+  "em_tests.pdb"
+  "em_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_tests.dir/gossip/classifier_node_test.cpp.o"
+  "CMakeFiles/gossip_tests.dir/gossip/classifier_node_test.cpp.o.d"
+  "CMakeFiles/gossip_tests.dir/gossip/dkmeans_test.cpp.o"
+  "CMakeFiles/gossip_tests.dir/gossip/dkmeans_test.cpp.o.d"
+  "CMakeFiles/gossip_tests.dir/gossip/push_sum_test.cpp.o"
+  "CMakeFiles/gossip_tests.dir/gossip/push_sum_test.cpp.o.d"
+  "gossip_tests"
+  "gossip_tests.pdb"
+  "gossip_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/convergence_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/convergence_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/invariants_under_faults_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/invariants_under_faults_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/protocol_variants_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/protocol_variants_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/wire_protocol_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/wire_protocol_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

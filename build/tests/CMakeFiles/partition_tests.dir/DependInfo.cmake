@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/partition/partition_test.cpp" "tests/CMakeFiles/partition_tests.dir/partition/partition_test.cpp.o" "gcc" "tests/CMakeFiles/partition_tests.dir/partition/partition_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ddc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/ddc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ddc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ddc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/summaries/CMakeFiles/ddc_summaries.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/ddc_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/ddc_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ddc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gossip/CMakeFiles/ddc_gossip.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/ddc_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ddc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ddc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/ddc_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/ddc_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

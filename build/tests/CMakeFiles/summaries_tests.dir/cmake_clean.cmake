@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summaries_tests.dir/summaries/centroid_test.cpp.o"
+  "CMakeFiles/summaries_tests.dir/summaries/centroid_test.cpp.o.d"
+  "CMakeFiles/summaries_tests.dir/summaries/gaussian_summary_test.cpp.o"
+  "CMakeFiles/summaries_tests.dir/summaries/gaussian_summary_test.cpp.o.d"
+  "CMakeFiles/summaries_tests.dir/summaries/histogram_summary_test.cpp.o"
+  "CMakeFiles/summaries_tests.dir/summaries/histogram_summary_test.cpp.o.d"
+  "CMakeFiles/summaries_tests.dir/summaries/requirements_test.cpp.o"
+  "CMakeFiles/summaries_tests.dir/summaries/requirements_test.cpp.o.d"
+  "summaries_tests"
+  "summaries_tests.pdb"
+  "summaries_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summaries_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddcsim.dir/ddcsim.cpp.o"
+  "CMakeFiles/ddcsim.dir/ddcsim.cpp.o.d"
+  "ddcsim"
+  "ddcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddcsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

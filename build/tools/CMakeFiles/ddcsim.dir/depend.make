@@ -1,0 +1,2 @@
+# Empty dependencies file for ddcsim.
+# This may be replaced when dependencies are built.
