@@ -10,11 +10,12 @@
 // collections alive.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/classification_metrics.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/centroid.hpp>
+
+#include "bench_util.hpp"
 
 int main() {
   const std::size_t n = 64;
@@ -42,9 +43,11 @@ int main() {
     if (v[0] < 50.0) low_mean += v[0] / static_cast<double>(low_count);
   }
 
-  ddc::io::Table table({"loss prob", "weight remaining %", "disagreement",
-                        "low-cluster centroid err", "weight-share err"});
-  for (double loss : {0.0, 0.01, 0.05, 0.1, 0.25, 0.5}) {
+  const std::vector<double> losses = {0.0, 0.01, 0.05, 0.1, 0.25, 0.5};
+  // Each loss level is an independent run — fan across the bench pool and
+  // collect printable rows in order.
+  const auto rows = ddc::bench::sweep(losses.size(), [&](std::size_t li) {
+    const double loss = losses[li];
     ddc::gossip::NetworkConfig config;
     config.k = 2;
     config.quanta_per_unit = std::int64_t{1} << 40;
@@ -52,9 +55,8 @@ int main() {
     ddc::sim::RoundRunnerOptions options;
     options.message_loss_probability = loss;
     options.seed = 152;
-    ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_centroid_nodes(inputs, config), options);
+    auto runner = ddc::sim::make_centroid_round_runner(
+        ddc::sim::Topology::complete(n), inputs, config, options);
     runner.run_rounds(rounds);
 
     const double initial_quanta =
@@ -76,11 +78,17 @@ int main() {
         }
       }
     }
-    table.add_row(
-        {loss, 100.0 * remaining,
-         ddc::metrics::max_disagreement_vs_first<ddc::summaries::CentroidPolicy>(
-             runner.nodes()),
-         worst_centroid, worst_share});
+    return std::vector<double>{
+        loss, 100.0 * remaining,
+        ddc::metrics::max_disagreement_vs_first<ddc::summaries::CentroidPolicy>(
+            runner.nodes()),
+        worst_centroid, worst_share};
+  });
+
+  ddc::io::Table table({"loss prob", "weight remaining %", "disagreement",
+                        "low-cluster centroid err", "weight-share err"});
+  for (const auto& row : rows) {
+    table.add_row({row[0], row[1], row[2], row[3], row[4]});
   }
   table.print(std::cout);
   std::cout << "\n(summaries survive heavy loss — they are weight-relative — "

@@ -10,10 +10,10 @@
 // within 0.5 of the true cluster means.
 #include <iostream>
 
-#include <ddc/gossip/dkmeans.hpp>
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
-#include <ddc/sim/round_runner.hpp>
+
+#include "bench_util.hpp"
 
 namespace {
 
@@ -61,9 +61,8 @@ int main() {
     ddc::gossip::NetworkConfig config;
     config.k = 3;
     config.seed = 131;
-    ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_centroid_nodes(inputs, config));
+    auto runner = ddc::sim::make_centroid_round_runner(
+        ddc::sim::Topology::complete(n), inputs, config);
     std::size_t rounds = 0;
     while (rounds < 5000) {
       runner.run_round();
@@ -80,35 +79,39 @@ int main() {
                    static_cast<long long>(rounds), std::string("—")});
   }
 
-  // Distributed k-means with varying averaging budget per iteration.
-  for (std::size_t rpi : {10u, 20u, 40u}) {
-    std::vector<ddc::gossip::DistributedKMeansNode> nodes;
-    for (const auto& v : inputs) {
-      // Shared initial centroids that cut through the left cluster, so
-      // Lloyd needs several assignment/update iterations to untangle them
-      // (a bad-enough init stalls Lloyd permanently — centralized or
-      // distributed — so we pick one that is recoverable but slow).
-      nodes.emplace_back(
-          v, std::vector<Vector>{Vector{1.0}, Vector{2.0}, Vector{9.0}}, rpi);
-    }
-    ddc::sim::RoundRunnerOptions options;
-    options.seed = 132;
-    ddc::sim::RoundRunner<ddc::gossip::DistributedKMeansNode> runner(
-        ddc::sim::Topology::complete(n), std::move(nodes), options);
-    std::size_t rounds = 0;
-    while (rounds < 5000) {
-      runner.run_round();
-      ++rounds;
-      const double err = worst_centroid_error(
-          runner.nodes(),
-          [](const auto& node) { return node.centroids(); });
-      if (err < 0.5) break;
-    }
+  // Distributed k-means with varying averaging budget per iteration —
+  // three independent runs, fanned across the bench pool.
+  const std::vector<std::size_t> budgets = {10, 20, 40};
+  const auto kmeans_rows =
+      ddc::bench::sweep(budgets.size(), [&](std::size_t bi) {
+        const std::size_t rpi = budgets[bi];
+        ddc::sim::RoundRunnerOptions options;
+        options.seed = 132;
+        // Shared initial centroids that cut through the left cluster, so
+        // Lloyd needs several assignment/update iterations to untangle them
+        // (a bad-enough init stalls Lloyd permanently — centralized or
+        // distributed — so we pick one that is recoverable but slow).
+        auto runner = ddc::sim::make_dkmeans_round_runner(
+            ddc::sim::Topology::complete(n), inputs,
+            {Vector{1.0}, Vector{2.0}, Vector{9.0}}, rpi, options);
+        std::size_t rounds = 0;
+        while (rounds < 5000) {
+          runner.run_round();
+          ++rounds;
+          const double err = worst_centroid_error(
+              runner.nodes(),
+              [](const auto& node) { return node.centroids(); });
+          if (err < 0.5) break;
+        }
+        return std::pair<std::size_t, std::size_t>{
+            rounds, runner.nodes()[0].iteration()};
+      });
+  for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
     table.add_row(
-        {std::string("distributed k-means, ") + std::to_string(rpi) +
+        {std::string("distributed k-means, ") + std::to_string(budgets[bi]) +
              " rounds/iteration",
-         static_cast<long long>(rounds),
-         static_cast<long long>(runner.nodes()[0].iteration())});
+         static_cast<long long>(kmeans_rows[bi].first),
+         static_cast<long long>(kmeans_rows[bi].second)});
   }
 
   table.print(std::cout);

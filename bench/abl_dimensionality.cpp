@@ -8,9 +8,8 @@
 // is the only thing that grows.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/gaussian_summary.hpp>
 #include <ddc/wire/serialize.hpp>
 
@@ -21,9 +20,16 @@ int main() {
   std::cout << "=== Ablation: value dimensionality (n = " << n
             << ", GM, k = 2, two clusters separated in every axis) ===\n\n";
 
-  ddc::io::Table table({"d", "rounds", "mean error (worst node)",
-                        "max msg bytes"});
-  for (std::size_t d : {1u, 2u, 4u, 8u, 16u}) {
+  struct DimRow {
+    std::size_t d = 0;
+    std::size_t rounds = 0;
+    double worst = 0.0;
+    std::size_t max_bytes = 0;
+  };
+  const std::vector<std::size_t> dims = {1, 2, 4, 8, 16};
+  // One independent simulation per dimension — fan across the bench pool.
+  const auto rows = ddc::bench::sweep(dims.size(), [&](std::size_t di) {
+    const std::size_t d = dims[di];
     ddc::stats::Rng rng(160 + d);
     std::vector<ddc::linalg::Vector> inputs;
     for (std::size_t i = 0; i < n; ++i) {
@@ -35,33 +41,39 @@ int main() {
     ddc::gossip::NetworkConfig config;
     config.k = 2;
     config.seed = 161;
-    ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_gm_nodes(inputs, config));
-    const std::size_t rounds =
+    auto runner = ddc::sim::make_gm_round_runner(
+        ddc::sim::Topology::complete(n), inputs, config);
+    DimRow row;
+    row.d = d;
+    row.rounds =
         ddc::bench::run_until_agreement<ddc::summaries::GaussianPolicy>(
             runner, 1e-2, 5, 100);
 
     // Worst-node error of the low-cluster mean against the true center 0.
-    double worst = 0.0;
     for (auto& node : runner.nodes()) {
       for (const auto& col : node.classification()) {
         if (col.summary.mean()[0] < 4.0) {
-          worst = std::max(
-              worst, ddc::linalg::norm2(col.summary.mean()) /
-                         std::sqrt(static_cast<double>(d)));
+          row.worst = std::max(
+              row.worst, ddc::linalg::norm2(col.summary.mean()) /
+                             std::sqrt(static_cast<double>(d)));
         }
       }
     }
-    std::size_t max_bytes = 0;
     for (auto& node : runner.nodes()) {
-      max_bytes =
-          std::max(max_bytes, ddc::wire::encode_classification(
-                                  node.prepare_message())
-                                  .size());
+      row.max_bytes =
+          std::max(row.max_bytes, ddc::wire::encode_classification(
+                                      node.prepare_message())
+                                      .size());
     }
-    table.add_row({static_cast<long long>(d), static_cast<long long>(rounds),
-                   worst, static_cast<long long>(max_bytes)});
+    return row;
+  });
+
+  ddc::io::Table table({"d", "rounds", "mean error (worst node)",
+                        "max msg bytes"});
+  for (const DimRow& row : rows) {
+    table.add_row({static_cast<long long>(row.d),
+                   static_cast<long long>(row.rounds), row.worst,
+                   static_cast<long long>(row.max_bytes)});
   }
   table.print(std::cout);
   std::cout << "\n(quality and convergence speed hold across dimensions; "

@@ -8,11 +8,12 @@
 // several independent runs, for 1 / 2 / 4 restarts.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/outlier_metrics.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/workload/scenarios.hpp>
+
+#include "bench_util.hpp"
 
 int main() {
   const double delta = 5.0;  // the hardest band of the Fig. 3 sweep
@@ -23,39 +24,51 @@ int main() {
   std::cout << "=== Ablation: EM restarts at the critical separation "
                "(Delta = " << delta << ", " << runs << " runs each) ===\n\n";
 
+  const std::vector<std::size_t> restart_levels = {1, 2, 4};
+  // All restarts × runs simulations are independent — flatten the grid and
+  // fan every cell across the bench pool; each cell returns its missed
+  // ratio. Seeds depend only on the run index, as before.
+  const auto missed_grid = ddc::bench::sweep(
+      restart_levels.size() * runs, [&](std::size_t cell) {
+        const std::size_t restarts = restart_levels[cell / runs];
+        const std::size_t run = cell % runs;
+        ddc::stats::Rng rng(900 + run);
+        const auto scenario =
+            ddc::workload::outlier_scenario(delta, rng, n_good, n_out);
+        ddc::gossip::NetworkConfig config;
+        config.k = 2;
+        config.track_aux = true;
+        config.seed = 950 + run;
+        ddc::em::ReductionOptions reduction;
+        reduction.restarts = restarts;
+        auto runner = ddc::sim::make_gm_round_runner(
+            ddc::sim::Topology::complete(scenario.inputs.size()),
+            scenario.inputs, config, {}, reduction);
+        runner.run_rounds(40);
+
+        double missed = 0.0;
+        for (std::size_t i = 0; i < scenario.inputs.size(); ++i) {
+          missed += ddc::metrics::missed_outlier_ratio(
+                        runner.nodes()[i].classification(),
+                        scenario.outlier_flags) /
+                    static_cast<double>(scenario.inputs.size());
+        }
+        return missed;
+      });
+
   ddc::io::Table table({"restarts", "mean missed %", "worst run missed %",
                         "runs fully separated (<10%)"});
-  for (std::size_t restarts : {1u, 2u, 4u}) {
+  for (std::size_t ri = 0; ri < restart_levels.size(); ++ri) {
     double total = 0.0;
     double worst = 0.0;
     std::size_t separated = 0;
     for (std::size_t run = 0; run < runs; ++run) {
-      ddc::stats::Rng rng(900 + run);
-      const auto scenario =
-          ddc::workload::outlier_scenario(delta, rng, n_good, n_out);
-      ddc::gossip::NetworkConfig config;
-      config.k = 2;
-      config.track_aux = true;
-      config.seed = 950 + run;
-      ddc::em::ReductionOptions reduction;
-      reduction.restarts = restarts;
-      ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-          ddc::sim::Topology::complete(scenario.inputs.size()),
-          ddc::gossip::make_gm_nodes(scenario.inputs, config, reduction));
-      runner.run_rounds(40);
-
-      double missed = 0.0;
-      for (std::size_t i = 0; i < scenario.inputs.size(); ++i) {
-        missed += ddc::metrics::missed_outlier_ratio(
-                      runner.nodes()[i].classification(),
-                      scenario.outlier_flags) /
-                  static_cast<double>(scenario.inputs.size());
-      }
+      const double missed = missed_grid[ri * runs + run];
       total += missed;
       worst = std::max(worst, missed);
       separated += missed < 0.10 ? 1 : 0;
     }
-    table.add_row({static_cast<long long>(restarts),
+    table.add_row({static_cast<long long>(restart_levels[ri]),
                    100.0 * total / static_cast<double>(runs), 100.0 * worst,
                    static_cast<long long>(separated)});
   }

@@ -6,9 +6,8 @@
 // round, so compare message counts, not just rounds).
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/centroid.hpp>
 
 #include "bench_util.hpp"
@@ -41,23 +40,30 @@ int main() {
        ddc::sim::GossipPattern::push_pull},
   };
 
+  // The four combos are independent runs — fan them across the bench pool.
+  const auto rounds_per_combo =
+      ddc::bench::sweep(std::size(combos), [&](std::size_t ci) {
+        const Combo& combo = combos[ci];
+        ddc::gossip::NetworkConfig config;
+        config.k = 2;
+        config.quanta_per_unit = std::int64_t{1} << 40;
+        config.seed = 91;
+        ddc::sim::RoundRunnerOptions options;
+        options.selection = combo.selection;
+        options.pattern = combo.pattern;
+        options.seed = 92;
+        auto runner = ddc::sim::make_centroid_round_runner(
+            ddc::sim::Topology::grid(8, 8, /*torus=*/true), inputs, config,
+            options);
+        return ddc::bench::run_until_agreement<ddc::summaries::CentroidPolicy>(
+            runner, 1e-3, 5, 10000);
+      });
+
   ddc::io::Table table({"pattern / selection", "rounds to agreement",
                         "messages (approx)"});
-  for (const Combo& combo : combos) {
-    ddc::gossip::NetworkConfig config;
-    config.k = 2;
-    config.quanta_per_unit = std::int64_t{1} << 40;
-    config.seed = 91;
-    ddc::sim::RoundRunnerOptions options;
-    options.selection = combo.selection;
-    options.pattern = combo.pattern;
-    options.seed = 92;
-    ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-        ddc::sim::Topology::grid(8, 8, /*torus=*/true),
-        ddc::gossip::make_centroid_nodes(inputs, config), options);
-    const std::size_t rounds =
-        ddc::bench::run_until_agreement<ddc::summaries::CentroidPolicy>(
-            runner, 1e-3, 5, 10000);
+  for (std::size_t ci = 0; ci < std::size(combos); ++ci) {
+    const Combo& combo = combos[ci];
+    const std::size_t rounds = rounds_per_combo[ci];
     const std::size_t per_round =
         combo.pattern == ddc::sim::GossipPattern::push ? n : 2 * n;
     table.add_row({std::string(combo.name), static_cast<long long>(rounds),

@@ -13,13 +13,13 @@
 // (b) wire bytes per message.
 #include <iostream>
 
-#include <ddc/gossip/classifier_node.hpp>
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/partition/greedy.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/histogram_summary.hpp>
 #include <ddc/wire/serialize.hpp>
+
+#include "bench_util.hpp"
 
 namespace {
 
@@ -37,13 +37,12 @@ int main() {
 
   std::cout << "=== Ablation: histogram gossip vs GM classification ===\n\n";
 
-  ddc::io::Table table({"far-cluster center", "GM estimate error",
-                        "histogram estimate error", "GM msg bytes",
-                        "hist msg bytes"});
-
   // Sweep the far cluster across positions inside a bin and at a bin edge
-  // (bin width here is 1.0, bins [-32, 32)).
-  for (double x0 : {25.10, 25.48, 24.99, 20.50}) {
+  // (bin width here is 1.0, bins [-32, 32)); each position is an
+  // independent pair of runs, fanned across the bench pool.
+  const std::vector<double> positions = {25.10, 25.48, 24.99, 20.50};
+  const auto rows = ddc::bench::sweep(positions.size(), [&](std::size_t pi) {
+    const double x0 = positions[pi];
     ddc::stats::Rng rng(140);
     std::vector<double> scalars;
     std::vector<ddc::linalg::Vector> vectors;
@@ -62,9 +61,8 @@ int main() {
     ddc::gossip::NetworkConfig config;
     config.k = 2;
     config.seed = 141;
-    ddc::sim::RoundRunner<ddc::gossip::GmNode> gm(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_gm_nodes(vectors, config));
+    auto gm = ddc::sim::make_gm_round_runner(ddc::sim::Topology::complete(n),
+                                             vectors, config);
     gm.run_rounds(40);
     // The far collection is the lighter of the two.
     const auto& classification = gm.nodes()[0].classification();
@@ -107,9 +105,18 @@ int main() {
     const std::size_t hist_bytes =
         ddc::wire::encode_classification(hist.nodes()[0].prepare_message()).size();
 
-    table.add_row({x0, std::abs(gm_estimate - x0), std::abs(hist_estimate - x0),
-                   static_cast<long long>(gm_bytes),
-                   static_cast<long long>(hist_bytes)});
+    return std::vector<double>{x0, std::abs(gm_estimate - x0),
+                               std::abs(hist_estimate - x0),
+                               static_cast<double>(gm_bytes),
+                               static_cast<double>(hist_bytes)};
+  });
+
+  ddc::io::Table table({"far-cluster center", "GM estimate error",
+                        "histogram estimate error", "GM msg bytes",
+                        "hist msg bytes"});
+  for (const auto& row : rows) {
+    table.add_row({row[0], row[1], row[2], static_cast<long long>(row[3]),
+                   static_cast<long long>(row[4])});
   }
   table.print(std::cout);
   std::cout << "\n(the histogram's error is bounded below by its bin "

@@ -7,11 +7,10 @@
 // sample under node 0's converged mixture.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/gaussian_metrics.hpp>
 #include <ddc/stats/mixture_distance.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/gaussian_summary.hpp>
 #include <ddc/workload/scenarios.hpp>
 
@@ -27,29 +26,41 @@ int main() {
   const auto inputs = ddc::workload::sample_inputs(truth, n, rng);
   const auto holdout = ddc::workload::sample_inputs(truth, 500, rng);
 
-  ddc::io::Table table({"k", "rounds", "recovery error", "NISE",
-                        "holdout avg log-lik", "final collections"});
-  for (std::size_t k : {1u, 2u, 3u, 5u, 7u, 10u, 14u}) {
+  struct KRow {
+    std::size_t k = 0;
+    std::size_t rounds = 0;
+    ddc::stats::GaussianMixture estimate;
+  };
+  const std::vector<std::size_t> ks = {1, 2, 3, 5, 7, 10, 14};
+  // One independent simulation per k — fan across the bench pool.
+  const auto rows = ddc::bench::sweep(ks.size(), [&](std::size_t ki) {
+    KRow row;
+    row.k = ks[ki];
     ddc::gossip::NetworkConfig config;
-    config.k = k;
+    config.k = row.k;
     config.seed = 71;
-    ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_gm_nodes(inputs, config));
-    const std::size_t rounds =
+    auto runner = ddc::sim::make_gm_round_runner(
+        ddc::sim::Topology::complete(n), inputs, config);
+    row.rounds =
         ddc::bench::run_until_agreement<ddc::summaries::GaussianPolicy>(
             runner, 1e-3, 5, 80);
-
-    const auto estimate =
+    row.estimate =
         ddc::summaries::to_mixture(runner.nodes()[0].classification());
+    return row;
+  });
+
+  ddc::io::Table table({"k", "rounds", "recovery error", "NISE",
+                        "holdout avg log-lik", "final collections"});
+  for (const KRow& row : rows) {
     double loglik = 0.0;
     for (const auto& x : holdout) {
-      loglik += estimate.log_pdf(x) / static_cast<double>(holdout.size());
+      loglik += row.estimate.log_pdf(x) / static_cast<double>(holdout.size());
     }
-    table.add_row({static_cast<long long>(k), static_cast<long long>(rounds),
-                   ddc::metrics::mixture_recovery_error(truth, estimate),
-                   ddc::stats::normalized_ise(truth, estimate), loglik,
-                   static_cast<long long>(estimate.size())});
+    table.add_row({static_cast<long long>(row.k),
+                   static_cast<long long>(row.rounds),
+                   ddc::metrics::mixture_recovery_error(truth, row.estimate),
+                   ddc::stats::normalized_ise(truth, row.estimate), loglik,
+                   static_cast<long long>(row.estimate.size())});
   }
   table.print(std::cout);
   std::cout << "\n(k below the true component count forces cross-cluster "

@@ -9,11 +9,12 @@
 // degrades precision, never conservation.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/classification_metrics.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/centroid.hpp>
+
+#include "bench_util.hpp"
 
 int main() {
   const std::size_t n = 32;
@@ -34,41 +35,52 @@ int main() {
   const double true_fraction =
       static_cast<double>(low_count) / static_cast<double>(n);
 
-  ddc::io::Table table({"quanta/unit", "q*n", "disagreement",
-                        "max weight-share error", "conserved"});
-  for (int log_qpu : {4, 8, 12, 16, 20, 28, 36, 44}) {
-    const std::int64_t qpu = std::int64_t{1} << log_qpu;
+  struct QRow {
+    std::int64_t qpu = 0;
+    double disagreement = 0.0;
+    double worst_share_error = 0.0;
+    bool conserved = false;
+  };
+  const std::vector<int> log_qpus = {4, 8, 12, 16, 20, 28, 36, 44};
+  // Every quantum resolution is an independent run — fan across the pool.
+  const auto rows = ddc::bench::sweep(log_qpus.size(), [&](std::size_t qi) {
+    QRow row;
+    row.qpu = std::int64_t{1} << log_qpus[qi];
     ddc::gossip::NetworkConfig config;
     config.k = 2;
-    config.quanta_per_unit = qpu;
+    config.quanta_per_unit = row.qpu;
     config.seed = 81;
     ddc::sim::RoundRunnerOptions options;
     options.selection = ddc::sim::NeighborSelection::round_robin;
     options.seed = 82;
-    ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-        ddc::sim::Topology::ring(n),
-        ddc::gossip::make_centroid_nodes(inputs, config), options);
+    auto runner = ddc::sim::make_centroid_round_runner(
+        ddc::sim::Topology::ring(n), inputs, config, options);
     runner.run_rounds(rounds);
 
-    const double disagreement = ddc::metrics::max_disagreement_vs_first<
+    row.disagreement = ddc::metrics::max_disagreement_vs_first<
         ddc::summaries::CentroidPolicy>(runner.nodes());
-    double worst_share_error = 0.0;
     for (const auto& node : runner.nodes()) {
       const auto& c = node.classification();
       for (std::size_t j = 0; j < c.size(); ++j) {
         if (c[j].summary[0] < 50.0) {
-          worst_share_error =
-              std::max(worst_share_error,
+          row.worst_share_error =
+              std::max(row.worst_share_error,
                        std::abs(c.relative_weight(j) - true_fraction));
         }
       }
     }
-    const bool conserved = ddc::metrics::total_quanta(runner.nodes()) ==
-                           static_cast<std::int64_t>(n) * qpu;
-    table.add_row({static_cast<long long>(qpu),
-                   static_cast<double>(n) / static_cast<double>(qpu),
-                   disagreement, worst_share_error,
-                   std::string(conserved ? "yes" : "NO")});
+    row.conserved = ddc::metrics::total_quanta(runner.nodes()) ==
+                    static_cast<std::int64_t>(n) * row.qpu;
+    return row;
+  });
+
+  ddc::io::Table table({"quanta/unit", "q*n", "disagreement",
+                        "max weight-share error", "conserved"});
+  for (const QRow& row : rows) {
+    table.add_row({static_cast<long long>(row.qpu),
+                   static_cast<double>(n) / static_cast<double>(row.qpu),
+                   row.disagreement, row.worst_share_error,
+                   std::string(row.conserved ? "yes" : "NO")});
   }
   table.print(std::cout);
   std::cout << "\n(q·n ≪ 1 is the paper's assumption; coarse quanta distort "

@@ -9,9 +9,8 @@
 // ring/line/star pay a diffusion penalty roughly quadratic in diameter.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/centroid.hpp>
 
 #include "bench_util.hpp"
@@ -54,9 +53,15 @@ int main() {
   entries.push_back({"ring", ddc::sim::Topology::ring(n)});
   entries.push_back({"line", ddc::sim::Topology::line(n)});
 
-  ddc::io::Table table({"topology", "diameter", "directed edges",
-                        "rounds to agreement"});
-  for (auto& entry : entries) {
+  struct Row {
+    std::size_t diameter = 0;
+    std::size_t edges = 0;
+    std::size_t rounds = 0;
+  };
+  // Topologies were built sequentially above (they share topo_rng); the
+  // simulations themselves are independent and fan across the bench pool.
+  const auto rows = ddc::bench::sweep(entries.size(), [&](std::size_t ei) {
+    Entry& entry = entries[ei];
     ddc::stats::Rng rng(51);
     const auto inputs = two_cluster_inputs(n, rng);
 
@@ -70,18 +75,24 @@ int main() {
     options.selection = ddc::sim::NeighborSelection::round_robin;
     options.seed = 53;
 
-    const std::size_t diameter = entry.topology.diameter();
-    const std::size_t edges = entry.topology.num_edges();
-    ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-        std::move(entry.topology),
-        ddc::gossip::make_centroid_nodes(inputs, config), options);
-    const std::size_t rounds =
+    Row row;
+    row.diameter = entry.topology.diameter();
+    row.edges = entry.topology.num_edges();
+    auto runner = ddc::sim::make_centroid_round_runner(
+        std::move(entry.topology), inputs, config, options);
+    row.rounds =
         ddc::bench::run_until_agreement<ddc::summaries::CentroidPolicy>(
             runner, 1e-3, 10, max_rounds);
+    return row;
+  });
 
-    table.add_row({std::string(entry.name), static_cast<long long>(diameter),
-                   static_cast<long long>(edges),
-                   static_cast<long long>(rounds)});
+  ddc::io::Table table({"topology", "diameter", "directed edges",
+                        "rounds to agreement"});
+  for (std::size_t ei = 0; ei < entries.size(); ++ei) {
+    table.add_row({std::string(entries[ei].name),
+                   static_cast<long long>(rows[ei].diameter),
+                   static_cast<long long>(rows[ei].edges),
+                   static_cast<long long>(rows[ei].rounds)});
   }
   table.print(std::cout);
   std::cout << "\n(any connected topology converges — Theorem 1; sparse, "

@@ -12,12 +12,11 @@
 // the rounds it took for all nodes to agree.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/ascii_canvas.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/gaussian_metrics.hpp>
 #include <ddc/stats/mixture_distance.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/gaussian_summary.hpp>
 #include <ddc/workload/scenarios.hpp>
 
@@ -39,9 +38,10 @@ int main() {
   ddc::gossip::NetworkConfig config;
   config.k = k;
   config.seed = 2;
-  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_gm_nodes(inputs, config));
+  ddc::sim::RoundRunnerOptions options;
+  options.parallelism = ddc::bench::bench_threads();
+  auto runner = ddc::sim::make_gm_round_runner(ddc::sim::Topology::complete(n),
+                                               inputs, config, options);
 
   const std::size_t rounds =
       ddc::bench::run_until_agreement<ddc::summaries::GaussianPolicy>(

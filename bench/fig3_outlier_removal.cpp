@@ -17,11 +17,66 @@
 // effect the paper discusses.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/outlier_metrics.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/workload/scenarios.hpp>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct DeltaRow {
+  double delta = 0.0;
+  double missed = 0.0;
+  double robust = 0.0;
+  double regular = 0.0;
+};
+
+/// One Δ point — an independent pair of simulations, seeded only from
+/// delta_int so rows are sweep-safe.
+DeltaRow measure_delta(int delta_int, std::size_t rounds) {
+  DeltaRow row;
+  row.delta = static_cast<double>(delta_int);
+  ddc::stats::Rng rng(300 + static_cast<std::uint64_t>(delta_int));
+  const ddc::workload::OutlierScenario scenario =
+      ddc::workload::outlier_scenario(row.delta, rng);
+  const std::size_t n = scenario.inputs.size();
+
+  ddc::gossip::NetworkConfig config;
+  config.k = 2;
+  config.track_aux = true;  // exact missed-outlier accounting
+  config.seed = 400 + static_cast<std::uint64_t>(delta_int);
+  // A few EM restarts per partition smooth out the bistability of the
+  // separation near the critical Δ (merging is irreversible, so one bad
+  // local optimum early can decide a whole run).
+  ddc::em::ReductionOptions reduction;
+  reduction.restarts = 3;
+  auto runner = ddc::sim::make_gm_round_runner(
+      ddc::sim::Topology::complete(n), scenario.inputs, config, {}, reduction);
+
+  auto baseline = ddc::sim::make_push_sum_round_runner(
+      ddc::sim::Topology::complete(n), scenario.inputs);
+
+  runner.run_rounds(rounds);
+  baseline.run_rounds(rounds);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    row.missed += ddc::metrics::missed_outlier_ratio(
+                      runner.nodes()[i].classification(),
+                      scenario.outlier_flags) /
+                  static_cast<double>(n);
+    row.robust += ddc::metrics::robust_mean_error(
+                      runner.nodes()[i].classification(), scenario.true_mean) /
+                  static_cast<double>(n);
+    row.regular += ddc::linalg::distance2(baseline.nodes()[i].estimate(),
+                                          scenario.true_mean) /
+                   static_cast<double>(n);
+  }
+  return row;
+}
+
+}  // namespace
 
 int main() {
   const std::size_t rounds = 40;
@@ -29,51 +84,14 @@ int main() {
   std::cout << "=== Figure 3: outlier removal, 950 + 50 values, k = 2, "
             << rounds << " rounds per Delta ===\n\n";
 
+  const auto rows = ddc::bench::sweep(26, [&](std::size_t i) {
+    return measure_delta(static_cast<int>(i), rounds);
+  });
+
   ddc::io::Table table({"delta", "missed outliers %", "robust error",
                         "regular error"});
-  for (int delta_int = 0; delta_int <= 25; ++delta_int) {
-    const double delta = static_cast<double>(delta_int);
-    ddc::stats::Rng rng(300 + static_cast<std::uint64_t>(delta_int));
-    const ddc::workload::OutlierScenario scenario =
-        ddc::workload::outlier_scenario(delta, rng);
-    const std::size_t n = scenario.inputs.size();
-
-    ddc::gossip::NetworkConfig config;
-    config.k = 2;
-    config.track_aux = true;  // exact missed-outlier accounting
-    config.seed = 400 + static_cast<std::uint64_t>(delta_int);
-    // A few EM restarts per partition smooth out the bistability of the
-    // separation near the critical Δ (merging is irreversible, so one bad
-    // local optimum early can decide a whole run).
-    ddc::em::ReductionOptions reduction;
-    reduction.restarts = 3;
-    ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_gm_nodes(scenario.inputs, config, reduction));
-
-    ddc::sim::RoundRunner<ddc::gossip::PushSumNode> baseline(
-        ddc::sim::Topology::complete(n),
-        ddc::gossip::make_push_sum_nodes(scenario.inputs));
-
-    runner.run_rounds(rounds);
-    baseline.run_rounds(rounds);
-
-    double missed = 0.0;
-    double robust = 0.0;
-    double regular = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      missed += ddc::metrics::missed_outlier_ratio(
-                    runner.nodes()[i].classification(),
-                    scenario.outlier_flags) /
-                static_cast<double>(n);
-      robust += ddc::metrics::robust_mean_error(
-                    runner.nodes()[i].classification(), scenario.true_mean) /
-                static_cast<double>(n);
-      regular += ddc::linalg::distance2(baseline.nodes()[i].estimate(),
-                                        scenario.true_mean) /
-                 static_cast<double>(n);
-    }
-    table.add_row({delta, 100.0 * missed, robust, regular});
+  for (const DeltaRow& row : rows) {
+    table.add_row({row.delta, 100.0 * row.missed, row.robust, row.regular});
   }
   table.print(std::cout);
   std::cout << "\n(paper Fig. 3b: regular error grows ~linearly with Delta; "

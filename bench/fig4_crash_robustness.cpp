@@ -11,11 +11,12 @@
 // converges about as fast as plain average aggregation.
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/outlier_metrics.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/workload/scenarios.hpp>
+
+#include "bench_util.hpp"
 
 namespace {
 
@@ -37,9 +38,8 @@ Series run_robust(const ddc::workload::OutlierScenario& scenario,
   ddc::sim::RoundRunnerOptions options;
   options.crash_probability = crash_probability;
   options.seed = 45;
-  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_gm_nodes(scenario.inputs, config), options);
+  auto runner = ddc::sim::make_gm_round_runner(
+      ddc::sim::Topology::complete(n), scenario.inputs, config, options);
 
   Series series;
   for (std::size_t r = 0; r < kRounds; ++r) {
@@ -64,9 +64,8 @@ Series run_regular(const ddc::workload::OutlierScenario& scenario,
   ddc::sim::RoundRunnerOptions options;
   options.crash_probability = crash_probability;
   options.seed = 45;  // same crash schedule as the robust run
-  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_push_sum_nodes(scenario.inputs), options);
+  auto runner = ddc::sim::make_push_sum_round_runner(
+      ddc::sim::Topology::complete(n), scenario.inputs, options);
 
   Series series;
   for (std::size_t r = 0; r < kRounds; ++r) {
@@ -95,10 +94,16 @@ int main() {
   const ddc::workload::OutlierScenario scenario =
       ddc::workload::outlier_scenario(kDelta, rng);
 
-  const Series robust_clean = run_robust(scenario, 0.0);
-  const Series robust_crash = run_robust(scenario, kCrashProbability);
-  const Series regular_clean = run_regular(scenario, 0.0);
-  const Series regular_crash = run_regular(scenario, kCrashProbability);
+  // The four curves are independent simulations — fan them across the
+  // bench pool.
+  const auto series = ddc::bench::sweep(4, [&](std::size_t i) {
+    const double p = (i % 2 == 0) ? 0.0 : kCrashProbability;
+    return i < 2 ? run_robust(scenario, p) : run_regular(scenario, p);
+  });
+  const Series& robust_clean = series[0];
+  const Series& robust_crash = series[1];
+  const Series& regular_clean = series[2];
+  const Series& regular_crash = series[3];
 
   ddc::io::Table table({"round", "robust", "robust+crashes", "regular",
                         "regular+crashes"});

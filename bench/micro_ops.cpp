@@ -7,6 +7,7 @@
 #include <ddc/core/classifier.hpp>
 #include <ddc/em/mixture_reduction.hpp>
 #include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/linalg/cholesky.hpp>
 #include <ddc/linalg/eigen_sym.hpp>
 #include <ddc/sim/event_queue.hpp>
@@ -157,9 +158,8 @@ void BM_PushSumRound(benchmark::State& state) {
   ddc::stats::Rng rng(10);
   std::vector<Vector> inputs;
   for (std::size_t i = 0; i < n; ++i) inputs.push_back(Vector{rng.normal()});
-  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_push_sum_nodes(inputs));
+  auto runner = ddc::sim::make_push_sum_round_runner(
+      ddc::sim::Topology::complete(n), inputs);
   for (auto _ : state) {
     runner.run_round();
   }
@@ -176,14 +176,20 @@ void BM_GmNetworkRound(benchmark::State& state) {
   }
   ddc::gossip::NetworkConfig config;
   config.k = 2;
-  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_gm_nodes(inputs, config));
+  ddc::sim::RoundRunnerOptions options;
+  options.parallelism = static_cast<std::size_t>(state.range(1));
+  auto runner = ddc::sim::make_gm_round_runner(ddc::sim::Topology::complete(n),
+                                               inputs, config, options);
   for (auto _ : state) {
     runner.run_round();
   }
 }
-BENCHMARK(BM_GmNetworkRound)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GmNetworkRound)
+    ->Args({100, 1})
+    ->Args({1000, 1})
+    ->Args({1000, 4})
+    ->Args({1000, 8})
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

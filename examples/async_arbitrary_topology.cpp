@@ -9,9 +9,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/metrics/classification_metrics.hpp>
-#include <ddc/sim/async_runner.hpp>
 #include <ddc/summaries/gaussian_summary.hpp>
 
 int main(int argc, char** argv) {
@@ -37,9 +36,9 @@ int main(int argc, char** argv) {
   options.min_delay = 0.05;
   options.max_delay = 3.0;  // delays exceed tick intervals → heavy reordering
 
-  ddc::sim::AsyncRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::random_geometric(n, 0.3, rng),
-      ddc::gossip::make_gm_nodes(inputs, config), options);
+  auto runner = ddc::sim::make_gm_async_runner(
+      ddc::sim::Topology::random_geometric(n, 0.3, rng), inputs, config,
+      options);
 
   std::cout << "time   messages   max disagreement vs node 0\n";
   for (double t = sim_time / 8.0; t <= sim_time; t += sim_time / 8.0) {

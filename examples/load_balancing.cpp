@@ -13,8 +13,7 @@
 #include <cmath>
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
-#include <ddc/sim/round_runner.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/workload/scenarios.hpp>
 
 namespace {
@@ -31,9 +30,8 @@ void classify_probe(double probe_load, double low_center, double high_center) {
   ddc::gossip::NetworkConfig config;
   config.k = 2;
   config.seed = 13;
-  ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-      ddc::sim::Topology::erdos_renyi(n, 0.1, rng),
-      ddc::gossip::make_centroid_nodes(loads, config));
+  auto runner = ddc::sim::make_centroid_round_runner(
+      ddc::sim::Topology::erdos_renyi(n, 0.1, rng), loads, config);
   runner.run_rounds(150);
 
   const auto& c = runner.nodes()[0].classification();

@@ -7,8 +7,7 @@
 //   $ ./quickstart
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
-#include <ddc/sim/round_runner.hpp>
+#include <ddc/gossip/runners.hpp>
 
 int main() {
   using ddc::linalg::Vector;
@@ -24,9 +23,8 @@ int main() {
   config.seed = 42;
 
   // A ring of 8 nodes running the centroids instantiation (Algorithm 2).
-  ddc::sim::RoundRunner<ddc::gossip::CentroidNode> runner(
-      ddc::sim::Topology::ring(inputs.size()),
-      ddc::gossip::make_centroid_nodes(inputs, config));
+  auto runner = ddc::sim::make_centroid_round_runner(
+      ddc::sim::Topology::ring(inputs.size()), inputs, config);
 
   runner.run_rounds(200);
 

@@ -8,9 +8,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/metrics/outlier_metrics.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/workload/scenarios.hpp>
 
 int main(int argc, char** argv) {
@@ -28,14 +27,12 @@ int main(int argc, char** argv) {
   config.k = 2;
   config.track_aux = true;
   config.seed = 3;
-  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_gm_nodes(scenario.inputs, config));
+  auto runner = ddc::sim::make_gm_round_runner(ddc::sim::Topology::complete(n),
+                                               scenario.inputs, config);
 
   // Baseline: plain push-sum average aggregation on the same inputs.
-  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> baseline(
-      ddc::sim::Topology::complete(n),
-      ddc::gossip::make_push_sum_nodes(scenario.inputs));
+  auto baseline = ddc::sim::make_push_sum_round_runner(
+      ddc::sim::Topology::complete(n), scenario.inputs);
 
   runner.run_rounds(rounds);
   baseline.run_rounds(rounds);

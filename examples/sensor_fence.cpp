@@ -10,9 +10,8 @@
 #include <iostream>
 
 #include <ddc/em/em_points.hpp>
-#include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
-#include <ddc/sim/round_runner.hpp>
 #include <ddc/summaries/gaussian_summary.hpp>
 #include <ddc/workload/scenarios.hpp>
 
@@ -43,9 +42,8 @@ int main(int argc, char** argv) {
   config.seed = 7;
 
   // Sensors communicate by radio range: a random geometric graph.
-  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::random_geometric(n, 0.15, rng),
-      ddc::gossip::make_gm_nodes(inputs, config));
+  auto runner = ddc::sim::make_gm_round_runner(
+      ddc::sim::Topology::random_geometric(n, 0.15, rng), inputs, config);
   runner.run_rounds(rounds);
 
   // Any sensor's view of the fence (they all agree by now) — take node 0.

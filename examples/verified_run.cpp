@@ -11,8 +11,7 @@
 #include <iostream>
 
 #include <ddc/audit/auditors.hpp>
-#include <ddc/gossip/network.hpp>
-#include <ddc/sim/round_runner.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/summaries/gaussian_summary.hpp>
 
 int main() {
@@ -32,8 +31,8 @@ int main() {
   config.track_aux = true;  // auditors need the mixture-space vectors
   config.seed = 33;
 
-  ddc::sim::RoundRunner<ddc::gossip::GmNode> runner(
-      ddc::sim::Topology::ring(n), ddc::gossip::make_gm_nodes(inputs, config));
+  auto runner = ddc::sim::make_gm_round_runner(ddc::sim::Topology::ring(n),
+                                               inputs, config);
 
   ddc::audit::ReferenceAngleMonitor angles(n);
   const std::int64_t expected_quanta =

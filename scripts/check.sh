@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Concurrency check: build the exec/sim/gossip test targets with
+# ThreadSanitizer and run the suites that exercise the parallel engine.
+# TSan finds data races only on code paths that actually run, so the
+# determinism tests (which drive the pool at several thread counts) are
+# the payload here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+
+cmake -B "$BUILD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build "$BUILD_DIR" --target exec_tests sim_tests gossip_tests -j "$(nproc)"
+
+"$BUILD_DIR"/tests/exec_tests
+"$BUILD_DIR"/tests/sim_tests
+"$BUILD_DIR"/tests/gossip_tests
+
+echo
+echo "TSan-clean: exec, sim and gossip test suites."

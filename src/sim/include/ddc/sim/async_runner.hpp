@@ -21,29 +21,19 @@
 
 namespace ddc::sim {
 
-/// Gossip initiation pattern for the asynchronous runner (Section 4.1
-/// explicitly allows push, pull, and push-pull):
-///   * push: the ticking node ships half its state to the neighbor;
-///   * pull: the ticking node asks the neighbor, which ships half of ITS
-///     state back (one extra round-trip of latency);
-///   * push_pull: both directions (a bilateral exchange).
-enum class AsyncGossipPattern {
-  push,
-  pull,
-  push_pull,
-};
+/// Deprecated alias from before the pattern enum was unified across
+/// engines (it now lives in gossip_node.hpp); prefer GossipPattern.
+using AsyncGossipPattern = GossipPattern;
 
-/// Configuration of an asynchronous run.
-struct AsyncRunnerOptions {
+/// Configuration of an asynchronous run. Selection, pattern and seed come
+/// from the shared options layer (CommonRunnerOptions).
+struct AsyncRunnerOptions : CommonRunnerOptions {
   /// Mean interval between a node's gossip emissions; actual intervals are
   /// uniform in [0.5, 1.5]× this, independently per node per tick.
   Time mean_tick_interval = 1.0;
   /// Message delays are uniform in [min_delay, max_delay].
   Time min_delay = 0.05;
   Time max_delay = 2.0;
-  NeighborSelection selection = NeighborSelection::uniform_random;
-  AsyncGossipPattern pattern = AsyncGossipPattern::push;
-  std::uint64_t seed = 1;
 };
 
 /// Drives one node object per topology vertex asynchronously. Channels are
@@ -100,13 +90,13 @@ class AsyncRunner {
   void emit(NodeId i) {
     const NodeId target = select_neighbor(i);
     switch (options_.pattern) {
-      case AsyncGossipPattern::push:
+      case GossipPattern::push:
         send_data(i, target);
         break;
-      case AsyncGossipPattern::pull:
+      case GossipPattern::pull:
         send_pull_request(i, target);
         break;
-      case AsyncGossipPattern::push_pull:
+      case GossipPattern::push_pull:
         send_data(i, target);
         send_pull_request(i, target);
         break;

@@ -1,7 +1,9 @@
-// The node interface the simulation runners drive.
+// The node interface the simulation runners drive, plus the options
+// vocabulary shared by both engines (round-based and asynchronous).
 #pragma once
 
 #include <concepts>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -34,13 +36,30 @@ enum class NeighborSelection {
 };
 
 /// Gossip communication pattern (Section 4.1 mentions push, pull and
-/// push-pull as admissible): with push, the initiator ships half its
-/// classification to the chosen neighbor; with push-pull, the chosen
-/// neighbor simultaneously ships half of its own state back, doubling the
-/// per-round message count but roughly doubling mixing speed.
+/// push-pull as admissible), shared by both engines:
+///   * push: the initiator ships half its state to the chosen neighbor;
+///   * pull: the initiator asks the chosen neighbor, which ships half of
+///     ITS state back (in the asynchronous engine this costs one extra
+///     round-trip of latency; the round engine folds it into the round);
+///   * push_pull: both directions — twice the messages per initiator,
+///     roughly twice the mixing speed.
 enum class GossipPattern {
   push,
+  pull,
   push_pull,
+};
+
+/// Options shared by the round-based and asynchronous engines. The
+/// engine-specific option structs extend this, so the common fields are
+/// spelled (and defaulted) once.
+struct CommonRunnerOptions {
+  NeighborSelection selection = NeighborSelection::uniform_random;
+  GossipPattern pattern = GossipPattern::push;
+  /// Seed for the engine's environment draws (neighbor selection, and —
+  /// per engine — delays, crashes, losses). Node-local randomness (EM
+  /// restarts) derives from the network config instead, so environment
+  /// and protocol streams never interfere.
+  std::uint64_t seed = 1;
 };
 
 }  // namespace ddc::sim

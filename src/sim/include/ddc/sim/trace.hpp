@@ -36,6 +36,8 @@ struct TraceEvent {
   NodeId to;
   /// Message payload in collections (1 for scalar messages like push-sum).
   std::size_t payload_units;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
 };
 
 /// Accumulates trace events; attach via RoundRunner::set_trace.

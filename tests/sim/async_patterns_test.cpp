@@ -19,7 +19,7 @@ std::vector<Vector> bimodal(std::size_t n, stats::Rng& rng) {
   return inputs;
 }
 
-AsyncRunnerOptions options_with(AsyncGossipPattern pattern,
+AsyncRunnerOptions options_with(GossipPattern pattern,
                                 std::uint64_t seed) {
   AsyncRunnerOptions options;
   options.pattern = pattern;
@@ -27,7 +27,7 @@ AsyncRunnerOptions options_with(AsyncGossipPattern pattern,
   return options;
 }
 
-double run_and_measure(AsyncGossipPattern pattern, std::uint64_t seed,
+double run_and_measure(GossipPattern pattern, std::uint64_t seed,
                        double until) {
   stats::Rng rng(seed);
   const std::size_t n = 16;
@@ -44,11 +44,11 @@ double run_and_measure(AsyncGossipPattern pattern, std::uint64_t seed,
 }
 
 TEST(AsyncPatterns, PullConverges) {
-  EXPECT_LT(run_and_measure(AsyncGossipPattern::pull, 21, 800.0), 0.05);
+  EXPECT_LT(run_and_measure(GossipPattern::pull, 21, 800.0), 0.05);
 }
 
 TEST(AsyncPatterns, PushPullConverges) {
-  EXPECT_LT(run_and_measure(AsyncGossipPattern::push_pull, 22, 800.0), 0.05);
+  EXPECT_LT(run_and_measure(GossipPattern::push_pull, 22, 800.0), 0.05);
 }
 
 TEST(AsyncPatterns, PullRequestsAreCountedOnlyForPullModes) {
@@ -59,14 +59,14 @@ TEST(AsyncPatterns, PullRequestsAreCountedOnlyForPullModes) {
 
   AsyncRunner<gossip::CentroidNode> push(
       Topology::complete(8), gossip::make_centroid_nodes(inputs, config),
-      options_with(AsyncGossipPattern::push, 23));
+      options_with(GossipPattern::push, 23));
   push.run_until(50.0);
   EXPECT_EQ(push.pull_requests_delivered(), 0u);
   EXPECT_GT(push.messages_delivered(), 0u);
 
   AsyncRunner<gossip::CentroidNode> pull(
       Topology::complete(8), gossip::make_centroid_nodes(inputs, config),
-      options_with(AsyncGossipPattern::pull, 23));
+      options_with(GossipPattern::pull, 23));
   pull.run_until(50.0);
   EXPECT_GT(pull.pull_requests_delivered(), 0u);
   // Every delivered data message in pull mode was solicited.
@@ -81,10 +81,10 @@ TEST(AsyncPatterns, PushPullMovesMoreDataPerTick) {
 
   AsyncRunner<gossip::CentroidNode> push(
       Topology::complete(8), gossip::make_centroid_nodes(inputs, config),
-      options_with(AsyncGossipPattern::push, 24));
+      options_with(GossipPattern::push, 24));
   AsyncRunner<gossip::CentroidNode> both(
       Topology::complete(8), gossip::make_centroid_nodes(inputs, config),
-      options_with(AsyncGossipPattern::push_pull, 24));
+      options_with(GossipPattern::push_pull, 24));
   push.run_until(100.0);
   both.run_until(100.0);
   EXPECT_GT(both.messages_delivered(), push.messages_delivered() * 3 / 2);
@@ -96,7 +96,7 @@ TEST(AsyncPatterns, WeightConservedUnderPullOnceQuiescent) {
   const auto inputs = bimodal(n, rng);
   gossip::NetworkConfig config;
   config.k = 2;
-  AsyncRunnerOptions options = options_with(AsyncGossipPattern::pull, 25);
+  AsyncRunnerOptions options = options_with(GossipPattern::pull, 25);
   options.max_delay = 0.1;  // short delays so quiescence is quick
   AsyncRunner<gossip::CentroidNode> runner(
       Topology::complete(n), gossip::make_centroid_nodes(inputs, config),

@@ -120,6 +120,63 @@ TEST(RoundRunner, CrashFreeRunsKeepEveryoneAlive) {
   EXPECT_EQ(runner.alive_count(), 6u);
 }
 
+TEST(RoundRunner, PullPatternDeliversRepliesToInitiators) {
+  RoundRunnerOptions options;
+  options.pattern = GossipPattern::pull;
+  RoundRunner<CountingNode> runner(Topology::complete(4),
+                                   std::vector<CountingNode>(4), options);
+  runner.run_rounds(3);
+  int total_sent = 0;
+  int total_received = 0;
+  for (const auto& n : runner.nodes()) {
+    // Every node polls one neighbor per round and gets one reply back.
+    EXPECT_EQ(n.received_tokens, 3);
+    total_sent += n.sent;
+    total_received += n.received_tokens;
+  }
+  EXPECT_EQ(total_sent, total_received);
+}
+
+TEST(RoundRunner, PullOnStarDrawsFromTheCenter) {
+  RoundRunnerOptions options;
+  options.pattern = GossipPattern::pull;
+  RoundRunner<CountingNode> runner(Topology::star(5),
+                                   std::vector<CountingNode>(5), options);
+  runner.run_round();
+  // Every leaf pulls from the center, so the center's state was split once
+  // per leaf; the center's own pull drew one token from some leaf.
+  EXPECT_EQ(runner.nodes()[0].sent, 4);
+  EXPECT_EQ(runner.nodes()[0].received_tokens, 1);
+  int leaf_sent = 0;
+  for (NodeId i = 1; i < 5; ++i) {
+    EXPECT_EQ(runner.nodes()[i].received_tokens, 1);
+    leaf_sent += runner.nodes()[i].sent;
+  }
+  EXPECT_EQ(leaf_sent, 1);
+}
+
+TEST(RoundRunner, ParallelismDoesNotChangeTokenFlow) {
+  for (const GossipPattern pattern :
+       {GossipPattern::push, GossipPattern::pull, GossipPattern::push_pull}) {
+    RoundRunnerOptions sequential;
+    sequential.pattern = pattern;
+    sequential.seed = 9;
+    RoundRunnerOptions parallel = sequential;
+    parallel.parallelism = 4;
+    RoundRunner<CountingNode> a(Topology::complete(6),
+                                std::vector<CountingNode>(6), sequential);
+    RoundRunner<CountingNode> b(Topology::complete(6),
+                                std::vector<CountingNode>(6), parallel);
+    a.run_rounds(8);
+    b.run_rounds(8);
+    for (NodeId i = 0; i < 6; ++i) {
+      EXPECT_EQ(a.nodes()[i].sent, b.nodes()[i].sent);
+      EXPECT_EQ(a.nodes()[i].received_tokens, b.nodes()[i].received_tokens);
+      EXPECT_EQ(a.nodes()[i].batches, b.nodes()[i].batches);
+    }
+  }
+}
+
 TEST(RoundRunner, SameSeedSameExecution) {
   RoundRunnerOptions options;
   options.seed = 33;

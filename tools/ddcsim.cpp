@@ -12,8 +12,8 @@
 #include <sstream>
 
 #include <ddc/cli/flags.hpp>
-#include <ddc/gossip/dkmeans.hpp>
 #include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/classification_metrics.hpp>
 #include <ddc/sim/round_runner.hpp>
@@ -34,11 +34,13 @@ struct Config {
   std::size_t k;
   std::size_t rounds;
   std::size_t report_every;
+  std::size_t threads;
   double delta;
   double crash_prob;
   double loss_prob;
   std::uint64_t seed;
   int quanta_exp;
+  std::string pattern;
   bool push_pull;
   bool round_robin;
   bool csv;
@@ -94,16 +96,24 @@ std::vector<Vector> make_inputs(const Config& config, ddc::stats::Rng& rng) {
   throw ddc::ConfigError("unknown workload '" + config.workload + "'");
 }
 
+ddc::sim::GossipPattern parse_pattern(const Config& config) {
+  if (config.push_pull) return ddc::sim::GossipPattern::push_pull;
+  if (config.pattern == "push") return ddc::sim::GossipPattern::push;
+  if (config.pattern == "pull") return ddc::sim::GossipPattern::pull;
+  if (config.pattern == "push-pull") return ddc::sim::GossipPattern::push_pull;
+  throw ddc::ConfigError("unknown pattern '" + config.pattern + "'");
+}
+
 ddc::sim::RoundRunnerOptions runner_options(const Config& config) {
   ddc::sim::RoundRunnerOptions options;
   options.selection = config.round_robin
                           ? ddc::sim::NeighborSelection::round_robin
                           : ddc::sim::NeighborSelection::uniform_random;
-  options.pattern = config.push_pull ? ddc::sim::GossipPattern::push_pull
-                                     : ddc::sim::GossipPattern::push;
+  options.pattern = parse_pattern(config);
   options.crash_probability = config.crash_prob;
   options.message_loss_probability = config.loss_prob;
   options.seed = config.seed + 1;
+  options.parallelism = config.threads;
   return options;
 }
 
@@ -129,10 +139,8 @@ void flush_trace(const Config& config, const ddc::sim::TraceRecorder& trace) {
 }
 
 template <typename Policy, typename Node, typename SummaryPrinter>
-int run_classifier(const Config& config, ddc::sim::Topology topology,
-                   std::vector<Node> nodes, SummaryPrinter print_summary) {
-  ddc::sim::RoundRunner<Node> runner(std::move(topology), std::move(nodes),
-                                     runner_options(config));
+int run_classifier(const Config& config, ddc::sim::RoundRunner<Node> runner,
+                   SummaryPrinter print_summary) {
   ddc::sim::TraceRecorder trace;
   if (!config.trace_path.empty()) runner.set_trace(&trace);
 
@@ -161,11 +169,9 @@ int run_classifier(const Config& config, ddc::sim::Topology topology,
   return 0;
 }
 
-int run_push_sum(const Config& config, ddc::sim::Topology topology,
+int run_push_sum(const Config& config,
+                 ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner,
                  const std::vector<Vector>& inputs) {
-  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner(
-      std::move(topology), ddc::gossip::make_push_sum_nodes(inputs),
-      runner_options(config));
   ddc::sim::TraceRecorder trace;
   if (!config.trace_path.empty()) runner.set_trace(&trace);
 
@@ -228,13 +234,18 @@ int main(int argc, char** argv) {
   flags.declare("k", "max collections per node", "2");
   flags.declare("rounds", "gossip rounds to run", "100");
   flags.declare("report-every", "progress row interval", "10");
+  flags.declare("threads",
+                "worker threads for the prepare/absorb phases (0 = one per "
+                "hardware thread); results are identical at any setting",
+                "1");
+  flags.declare("pattern", "push | pull | push-pull", "push");
   flags.declare("delta", "outlier distance (outliers workload)", "10");
   flags.declare("crash-prob", "per-round crash probability", "0");
   flags.declare("loss-prob", "per-message loss probability", "0");
   flags.declare("seed", "RNG seed", "1");
   flags.declare("quanta-exp", "weight quanta per unit = 2^this", "20");
   flags.declare("trace", "write an event trace CSV to this path", "");
-  flags.declare_bool("push-pull", "use push-pull instead of push");
+  flags.declare_bool("push-pull", "shorthand for --pattern push-pull");
   flags.declare_bool("round-robin", "round-robin neighbor selection");
   flags.declare_bool("csv", "emit CSV instead of aligned tables");
 
@@ -251,16 +262,21 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("k")),
         static_cast<std::size_t>(flags.get_int("rounds")),
         static_cast<std::size_t>(flags.get_int("report-every")),
+        static_cast<std::size_t>(flags.get_int("threads")),
         flags.get_double("delta"),
         flags.get_double("crash-prob"),
         flags.get_double("loss-prob"),
         static_cast<std::uint64_t>(flags.get_int("seed")),
         static_cast<int>(flags.get_int("quanta-exp")),
+        flags.get("pattern"),
         flags.get_bool("push-pull"),
         flags.get_bool("round-robin"),
         flags.get_bool("csv"),
         flags.get("trace"),
     };
+    if (flags.get_int("threads") < 0) {
+      throw ddc::ConfigError("--threads must be ≥ 0 (0 = one per hardware thread)");
+    }
     if (config.nodes < 2) throw ddc::ConfigError("--nodes must be ≥ 2");
     if (config.quanta_exp < 0 || config.quanta_exp > 62) {
       throw ddc::ConfigError("--quanta-exp must be in [0, 62]");
@@ -277,17 +293,24 @@ int main(int argc, char** argv) {
 
     if (config.protocol == "gm") {
       return run_classifier<ddc::summaries::GaussianPolicy>(
-          config, std::move(topology), ddc::gossip::make_gm_nodes(inputs, net),
+          config,
+          ddc::sim::make_gm_round_runner(std::move(topology), inputs, net,
+                                         runner_options(config)),
           [](const ddc::stats::Gaussian& g) { return describe(g); });
     }
     if (config.protocol == "centroid") {
       return run_classifier<ddc::summaries::CentroidPolicy>(
-          config, std::move(topology),
-          ddc::gossip::make_centroid_nodes(inputs, net),
+          config,
+          ddc::sim::make_centroid_round_runner(std::move(topology), inputs, net,
+                                               runner_options(config)),
           [](const Vector& v) { return describe(v); });
     }
     if (config.protocol == "pushsum") {
-      return run_push_sum(config, std::move(topology), inputs);
+      return run_push_sum(config,
+                          ddc::sim::make_push_sum_round_runner(
+                              std::move(topology), inputs,
+                              runner_options(config)),
+                          inputs);
     }
     throw ddc::ConfigError("unknown protocol '" + config.protocol + "'");
   } catch (const ddc::Error& e) {
