@@ -1,23 +1,45 @@
 #!/usr/bin/env bash
-# Concurrency check: build the exec/sim/gossip test targets with
-# ThreadSanitizer and run the suites that exercise the parallel engine.
-# TSan finds data races only on code paths that actually run, so the
-# determinism tests (which drive the pool at several thread counts) are
-# the payload here.
+# Sanitizer gates.
+#
+# TSan: build the exec/sim/gossip test targets with ThreadSanitizer and
+# run the suites that exercise the parallel engine. TSan finds data
+# races only on code paths that actually run, so the determinism tests
+# (which drive the pool at several thread counts) are the payload here.
+#
+# ASan+UBSan: build and run the wire, net and io suites — the byte-level
+# decoding and socket paths where out-of-bounds reads, overflows on
+# attacker-controlled lengths, and use-after-free of receive buffers
+# would live.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=build-tsan
+TSAN_DIR=build-tsan
+ASAN_DIR=build-asan
 
-cmake -B "$BUILD_DIR" \
+cmake -B "$TSAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build "$BUILD_DIR" --target exec_tests sim_tests gossip_tests -j "$(nproc)"
+cmake --build "$TSAN_DIR" --target exec_tests sim_tests gossip_tests -j "$(nproc)"
 
-"$BUILD_DIR"/tests/exec_tests
-"$BUILD_DIR"/tests/sim_tests
-"$BUILD_DIR"/tests/gossip_tests
+"$TSAN_DIR"/tests/exec_tests
+"$TSAN_DIR"/tests/sim_tests
+"$TSAN_DIR"/tests/gossip_tests
 
 echo
 echo "TSan-clean: exec, sim and gossip test suites."
+
+cmake -B "$ASAN_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$ASAN_DIR" --target wire_tests net_tests io_tests -j "$(nproc)"
+
+# halt_on_error so UBSan findings fail the gate instead of scrolling by.
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+"$ASAN_DIR"/tests/wire_tests
+"$ASAN_DIR"/tests/net_tests
+"$ASAN_DIR"/tests/io_tests
+
+echo
+echo "ASan+UBSan-clean: wire, net and io test suites."

@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# Launches a cluster of ddcnode processes gossiping over UDP localhost,
+# checks that every node reports the same final classification, and
+# cross-validates the result against the in-process simulator
+# (ddcsim --summary-line) on the same seeded workload.
+#
+#   scripts/run_cluster.sh --nodes 8 --protocol gm
+#   scripts/run_cluster.sh --nodes 6 --protocol centroid --loss 0.1
+#   scripts/run_cluster.sh --nodes 8 --kill 3        # kill node 3 mid-run
+#
+# Exit status 0 iff the cluster converged and matches the simulator.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NODES=8
+PROTOCOL=gm
+BASE_PORT=$(( 9800 + (RANDOM % 500) * 16 ))
+SEED=1
+ROUNDS=60
+TICK_MS=20
+LOSS=0
+KILL_ID=""
+BUILD_DIR=build
+# Numeric tolerances for the cross-checks. Weights drift by the residual
+# gossip imbalance; means sit on well-separated clusters (0 vs 25), so
+# these bands are tight relative to the structure being recovered.
+WEIGHT_TOL=0.05
+MEAN_TOL=1.0
+
+usage() { sed -n '2,10p' "$0"; exit "${1:-0}"; }
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --nodes)     NODES=$2; shift 2 ;;
+    --protocol)  PROTOCOL=$2; shift 2 ;;
+    --base-port) BASE_PORT=$2; shift 2 ;;
+    --seed)      SEED=$2; shift 2 ;;
+    --rounds)    ROUNDS=$2; shift 2 ;;
+    --tick-ms)   TICK_MS=$2; shift 2 ;;
+    --loss)      LOSS=$2; shift 2 ;;
+    --kill)      KILL_ID=$2; shift 2 ;;
+    --build-dir) BUILD_DIR=$2; shift 2 ;;
+    -h|--help)   usage ;;
+    *) echo "run_cluster.sh: unknown argument '$1'" >&2; usage 1 ;;
+  esac
+done
+
+DDCNODE="$BUILD_DIR/tools/ddcnode"
+DDCSIM="$BUILD_DIR/tools/ddcsim"
+for bin in "$DDCNODE" "$DDCSIM"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "run_cluster.sh: $bin not built (cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+done
+
+WORK_DIR=$(mktemp -d)
+trap 'jobs -p | xargs -r kill 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$WORK_DIR"' EXIT
+
+echo "cluster: $NODES x ddcnode ($PROTOCOL) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_ID:+, killing node $KILL_ID mid-run}"
+
+declare -a PIDS
+for (( i = 0; i < NODES; i++ )); do
+  "$DDCNODE" --id "$i" --nodes "$NODES" --base-port "$BASE_PORT" \
+    --protocol "$PROTOCOL" --seed "$SEED" --rounds "$ROUNDS" \
+    --tick-ms "$TICK_MS" --loss-prob "$LOSS" \
+    > "$WORK_DIR/node$i.out" 2> "$WORK_DIR/node$i.err" &
+  PIDS[i]=$!
+done
+
+if [[ -n "$KILL_ID" ]]; then
+  # Let the cluster mix first, then take the node down hard; the
+  # survivors' probe-based failure detectors must route around it.
+  sleep "$(awk "BEGIN { print $ROUNDS * $TICK_MS / 1000.0 / 3 }")"
+  kill -9 "${PIDS[KILL_ID]}" 2>/dev/null || true
+  echo "killed node $KILL_ID (pid ${PIDS[KILL_ID]})"
+fi
+
+FAILED=0
+for (( i = 0; i < NODES; i++ )); do
+  if [[ -n "$KILL_ID" && "$i" == "$KILL_ID" ]]; then
+    wait "${PIDS[i]}" 2>/dev/null || true
+    continue
+  fi
+  if ! wait "${PIDS[i]}"; then
+    echo "node $i exited non-zero:" >&2
+    cat "$WORK_DIR/node$i.err" >&2
+    FAILED=1
+  fi
+done
+[[ "$FAILED" == 0 ]] || exit 1
+
+# Collect RESULT lines from every surviving node.
+: > "$WORK_DIR/results"
+for (( i = 0; i < NODES; i++ )); do
+  [[ -n "$KILL_ID" && "$i" == "$KILL_ID" ]] && continue
+  line=$(grep '^RESULT ' "$WORK_DIR/node$i.out" || true)
+  if [[ -z "$line" ]]; then
+    echo "node $i produced no RESULT line:" >&2
+    cat "$WORK_DIR/node$i.err" >&2
+    exit 1
+  fi
+  echo "node $i: $line"
+  echo "$line" >> "$WORK_DIR/results"
+done
+
+# The simulator's answer on the identical workload and seed, with the
+# same channel-loss rate (different draws, so weights only match
+# statistically — hence WEIGHT_TOL).
+SIM_LINE=$("$DDCSIM" --protocol "$PROTOCOL" --workload clusters \
+  --nodes "$NODES" --rounds "$ROUNDS" --seed "$SEED" --loss-prob "$LOSS" \
+  --summary-line | grep '^RESULT ')
+echo "ddcsim: $SIM_LINE"
+
+# compare_results <reference-line> <file-of-lines> <weight-tol> <mean-tol>
+# Lines are "RESULT k w mean... w mean..." with collections sorted by
+# mean, so positional comparison is meaningful. Field 2 (k) must match
+# exactly; weights compare within the weight tolerance, means within the
+# mean tolerance.
+compare_results() {
+  awk -v ref="$1" -v wtol="$3" -v mtol="$4" '
+    BEGIN {
+      n = split(ref, r, " ")
+      if (n < 3) { print "malformed reference: " ref; exit 1 }
+      k = r[2]
+      dim = (n - 3 + 1) / k - 1   # fields per collection minus the weight
+    }
+    {
+      if ($2 != k) {
+        printf "MISMATCH line %d: k=%s, expected %s\n", NR, $2, k
+        bad = 1; next
+      }
+      for (f = 3; f <= n; f++) {
+        # Field f is a weight iff it starts a collection block.
+        is_weight = ((f - 3) % (dim + 1) == 0)
+        tol = is_weight ? wtol : mtol
+        d = $f - r[f]; if (d < 0) d = -d
+        if (d > tol) {
+          printf "MISMATCH line %d field %d: %s vs %s (tol %s)\n", \
+                 NR, f, $f, r[f], tol
+          bad = 1
+        }
+      }
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$2"
+}
+
+# Node-vs-node agreement: summaries must match to RESULT precision;
+# relative weights carry the residual mixing imbalance, which grows when
+# the channel destroys weight.
+NODE_WEIGHT_TOL=$(awk "BEGIN { print ($LOSS > 0) ? 0.01 : 1e-4 }")
+REFERENCE=$(head -1 "$WORK_DIR/results")
+echo
+if ! compare_results "$REFERENCE" "$WORK_DIR/results" "$NODE_WEIGHT_TOL" 1e-4; then
+  echo "FAIL: nodes disagree on the final classification" >&2
+  exit 1
+fi
+echo "OK: all $(wc -l < "$WORK_DIR/results") surviving nodes agree"
+
+if ! compare_results "$SIM_LINE" "$WORK_DIR/results" "$WEIGHT_TOL" "$MEAN_TOL"; then
+  echo "FAIL: cluster result does not match the in-process simulator" >&2
+  exit 1
+fi
+echo "OK: cluster matches ddcsim (weights ±$WEIGHT_TOL, means ±$MEAN_TOL)"

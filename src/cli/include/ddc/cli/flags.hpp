@@ -53,6 +53,12 @@ class Flags {
   /// The generated --help text.
   [[nodiscard]] std::string help_text() const;
 
+  /// The declared flag closest to `name` (edit distance ≤ 2, or a
+  /// declared name `name` is a prefix of), for "did you mean" hints on
+  /// unknown flags. nullopt when nothing is close.
+  [[nodiscard]] std::optional<std::string> suggest(
+      const std::string& name) const;
+
  private:
   struct Entry {
     std::string description;

@@ -7,6 +7,27 @@
 
 namespace ddc::cli {
 
+namespace {
+
+/// Plain Levenshtein distance — small strings, O(|a|·|b|) is fine.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 Flags::Flags(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
@@ -47,7 +68,13 @@ bool Flags::parse(const std::vector<std::string>& args) {
     }
     const auto it = entries_.find(name);
     if (it == entries_.end()) {
-      throw FlagError("unknown flag --" + name + " (see --help)");
+      std::string message = "unknown flag --" + name;
+      if (const auto near = suggest(name)) {
+        message += " (did you mean --" + *near + "?)";
+      } else {
+        message += " (see --help)";
+      }
+      throw FlagError(message);
     }
     Entry& e = it->second;
     if (!value) {
@@ -66,6 +93,24 @@ bool Flags::parse(const std::vector<std::string>& args) {
     e.value = std::move(*value);
   }
   return true;
+}
+
+std::optional<std::string> Flags::suggest(const std::string& name) const {
+  if (name.empty()) return std::nullopt;
+  std::optional<std::string> best;
+  std::size_t best_distance = 3;  // suggest only within edit distance 2
+  for (const auto& candidate : declaration_order_) {
+    // A declared name the typo is a prefix of ("--node" for "--nodes")
+    // is a suggestion regardless of length difference.
+    const std::size_t d = candidate.starts_with(name)
+                              ? 1
+                              : edit_distance(name, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
 }
 
 const Flags::Entry& Flags::entry(const std::string& name) const {

@@ -1,0 +1,144 @@
+// Cluster — an in-process ensemble of NetNodes on a LoopbackNetwork.
+//
+// The adapter that lets the networked node stack host the workloads the
+// simulation runners are tested with: it takes the same ingredients as
+// sim::RoundRunner (a Topology, a vector of protocol nodes, options)
+// but drives them through the real Transport/NetNode/wire path — every
+// message is encoded to bytes, queued in the fabric, decoded on
+// receipt. Deterministic end to end: for a fixed seed two runs are
+// bit-identical (tests/net/loopback_test pins this).
+//
+// A round is: every live node takes one send opportunity (ascending id
+// order, like the sequential round engine), the fabric advances one
+// tick, every live node services its inbox, crash draws apply. With
+// delays configured, frames may span rounds — the asynchronous flavor
+// of Section 3.1 rather than lockstep rounds.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/net/codec.hpp>
+#include <ddc/net/loopback.hpp>
+#include <ddc/net/net_node.hpp>
+#include <ddc/sim/gossip_node.hpp>
+#include <ddc/sim/topology.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::net {
+
+struct ClusterOptions {
+  sim::NeighborSelection selection = sim::NeighborSelection::uniform_random;
+  /// Master seed; the fabric's channel stream and each node's selection
+  /// stream derive from it.
+  std::uint64_t seed = 1;
+  /// Channel model (see LoopbackOptions).
+  double loss_probability = 0.0;
+  std::size_t min_delay_ticks = 0;
+  std::size_t max_delay_ticks = 0;
+  /// Per-node end-of-round crash probability. Crashed nodes stop
+  /// sending and servicing; the (perfect) loopback failure detector
+  /// excludes them from everyone's target selection, the Fig. 4 regime.
+  double crash_probability = 0.0;
+};
+
+template <sim::GossipNode Node, typename Codec>
+class Cluster {
+ public:
+  Cluster(sim::Topology topology, std::vector<Node> nodes,
+          ClusterOptions options = {})
+      : options_(options),
+        network_(nodes.size(),
+                 LoopbackOptions{stats::derive_seed(options.seed, 0x434c55ULL),
+                                 options.loss_probability,
+                                 options.min_delay_ticks,
+                                 options.max_delay_ticks}),
+        env_rng_(stats::Rng::derive(options.seed, 0x434c5553ULL)),
+        alive_(nodes.size(), true) {
+    DDC_EXPECTS(topology.num_nodes() == nodes.size());
+    DDC_EXPECTS(options_.crash_probability >= 0.0 &&
+                options_.crash_probability <= 1.0);
+    drivers_.reserve(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      NetNodeOptions node_options;
+      node_options.selection = options.selection;
+      node_options.seed = stats::derive_seed(options.seed, 0x4e4f4445ULL + i);
+      drivers_.emplace_back(std::move(nodes[i]), network_.endpoint(
+                                static_cast<PeerId>(i)),
+                            topology, node_options);
+    }
+  }
+
+  void run_round() {
+    for (std::size_t i = 0; i < drivers_.size(); ++i) {
+      if (alive_[i]) (void)drivers_[i].begin_round();
+    }
+    network_.advance();
+    for (std::size_t i = 0; i < drivers_.size(); ++i) {
+      if (alive_[i]) (void)drivers_[i].service();
+    }
+    if (options_.crash_probability > 0.0) {
+      for (std::size_t i = 0; i < drivers_.size(); ++i) {
+        if (alive_[i] && env_rng_.bernoulli(options_.crash_probability)) {
+          alive_[i] = false;
+          network_.set_peer_up(static_cast<PeerId>(i), false);
+        }
+      }
+    }
+    ++round_;
+  }
+
+  void run_rounds(std::size_t count) {
+    for (std::size_t r = 0; r < count; ++r) run_round();
+  }
+
+  /// Drains in-flight frames without new sends or crashes — the quiesce
+  /// step before reading final classifications when delays are nonzero.
+  void drain(std::size_t ticks) {
+    for (std::size_t t = 0; t < ticks; ++t) {
+      network_.advance();
+      for (std::size_t i = 0; i < drivers_.size(); ++i) {
+        if (alive_[i]) (void)drivers_[i].service();
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return drivers_.size();
+  }
+  [[nodiscard]] const std::vector<NetNode<Node, Codec>>& nodes()
+      const noexcept {
+    return drivers_;
+  }
+  [[nodiscard]] std::vector<NetNode<Node, Codec>>& nodes() noexcept {
+    return drivers_;
+  }
+  [[nodiscard]] const Node& node(std::size_t i) const {
+    DDC_EXPECTS(i < drivers_.size());
+    return drivers_[i].node();
+  }
+  [[nodiscard]] LoopbackNetwork& network() noexcept { return network_; }
+
+  [[nodiscard]] bool alive(std::size_t i) const {
+    DDC_EXPECTS(i < alive_.size());
+    return alive_[i];
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    std::size_t count = 0;
+    for (const bool a : alive_) count += a ? 1 : 0;
+    return count;
+  }
+
+ private:
+  ClusterOptions options_;
+  LoopbackNetwork network_;
+  stats::Rng env_rng_;
+  std::vector<NetNode<Node, Codec>> drivers_;
+  std::vector<bool> alive_;
+  std::size_t round_ = 0;
+};
+
+}  // namespace ddc::net

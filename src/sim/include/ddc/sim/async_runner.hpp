@@ -16,6 +16,7 @@
 #include <ddc/common/assert.hpp>
 #include <ddc/sim/event_queue.hpp>
 #include <ddc/sim/gossip_node.hpp>
+#include <ddc/sim/neighbor_selection.hpp>
 #include <ddc/sim/topology.hpp>
 #include <ddc/stats/rng.hpp>
 
@@ -51,7 +52,8 @@ class AsyncRunner {
         nodes_(std::move(nodes)),
         options_(options),
         env_rng_(stats::Rng::derive(options.seed, 0x4153594e43ULL)),
-        rr_position_(nodes_.size(), 0) {
+        selector_(options.selection, nodes_.size()),
+        all_alive_(nodes_.size(), true) {
     DDC_EXPECTS(nodes_.size() == topology_.num_nodes());
     DDC_EXPECTS(options_.mean_tick_interval > 0.0);
     DDC_EXPECTS(options_.min_delay >= 0.0 &&
@@ -132,26 +134,18 @@ class AsyncRunner {
   }
 
   [[nodiscard]] NodeId select_neighbor(NodeId i) {
-    const std::span<const NodeId> nbrs = topology_.neighbors(i);
-    DDC_ASSERT(!nbrs.empty());
-    switch (options_.selection) {
-      case NeighborSelection::round_robin: {
-        const NodeId target = nbrs[rr_position_[i] % nbrs.size()];
-        rr_position_[i] = (rr_position_[i] + 1) % nbrs.size();
-        return target;
-      }
-      case NeighborSelection::uniform_random:
-        return nbrs[env_rng_.uniform_index(nbrs.size())];
-    }
-    DDC_ASSERT(false);
-    return 0;
+    // This engine has no crashes, so every neighbor is eligible and the
+    // selector always yields a target.
+    return *selector_.pick(topology_, i, all_alive_, /*avoid=*/false,
+                           env_rng_);
   }
 
   Topology topology_;
   std::vector<Node> nodes_;
   AsyncRunnerOptions options_;
   stats::Rng env_rng_;
-  std::vector<std::size_t> rr_position_;
+  NeighborSelector selector_;
+  std::vector<bool> all_alive_;
   EventQueue queue_;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t pull_requests_delivered_ = 0;

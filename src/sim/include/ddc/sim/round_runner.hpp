@@ -32,6 +32,7 @@
 #include <ddc/exec/parallel_for.hpp>
 #include <ddc/exec/thread_pool.hpp>
 #include <ddc/sim/gossip_node.hpp>
+#include <ddc/sim/neighbor_selection.hpp>
 #include <ddc/sim/topology.hpp>
 #include <ddc/sim/trace.hpp>
 #include <ddc/stats/rng.hpp>
@@ -88,7 +89,7 @@ class RoundRunner {
         env_rng_(stats::Rng::derive(options.seed, 0x524e445255ULL)),
         loss_rng_(stats::Rng::derive(options.seed, 0x4c4f5353ULL)),
         alive_(nodes_.size(), true),
-        rr_position_(nodes_.size(), 0),
+        selector_(options.selection, nodes_.size()),
         targets_(nodes_.size()),
         outbox_(nodes_.size()),
         replies_(nodes_.size()),
@@ -291,33 +292,9 @@ class RoundRunner {
   /// Picks i's gossip target, honouring the crash-send policy. Returns
   /// nullopt when every eligible neighbor is dead.
   [[nodiscard]] std::optional<NodeId> select_neighbor(NodeId i) {
-    const std::span<const NodeId> nbrs = topology_.neighbors(i);
-    DDC_ASSERT(!nbrs.empty());
     const bool avoid =
         options_.crash_send_policy == CrashSendPolicy::avoid_crashed;
-    switch (options_.selection) {
-      case NeighborSelection::round_robin: {
-        // Advance past dead neighbors (at most one lap).
-        for (std::size_t step = 0; step < nbrs.size(); ++step) {
-          const NodeId target = nbrs[rr_position_[i] % nbrs.size()];
-          rr_position_[i] = (rr_position_[i] + 1) % nbrs.size();
-          if (!avoid || alive_[target]) return target;
-        }
-        return std::nullopt;
-      }
-      case NeighborSelection::uniform_random: {
-        if (!avoid) return nbrs[env_rng_.uniform_index(nbrs.size())];
-        std::vector<NodeId> live;
-        live.reserve(nbrs.size());
-        for (const NodeId t : nbrs) {
-          if (alive_[t]) live.push_back(t);
-        }
-        if (live.empty()) return std::nullopt;
-        return live[env_rng_.uniform_index(live.size())];
-      }
-    }
-    DDC_ASSERT(false);
-    return std::nullopt;
+    return selector_.pick(topology_, i, alive_, avoid, env_rng_);
   }
 
   Topology topology_;
@@ -326,7 +303,7 @@ class RoundRunner {
   stats::Rng env_rng_;
   stats::Rng loss_rng_;
   std::vector<bool> alive_;
-  std::vector<std::size_t> rr_position_;
+  NeighborSelector selector_;
   // Per-round scratch, kept across rounds to avoid reallocating. All of it
   // is written either sequentially or at disjoint indices (phase 2 writes
   // outbox_[j] / replies_[i] from the single task that owns the involved

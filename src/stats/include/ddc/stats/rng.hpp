@@ -56,4 +56,11 @@ class Rng {
 /// SplitMix64 step — public because tests and seed-derivation use it.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// Derives a child SEED (rather than a stream) from (seed, salt) — for
+/// components that take a seed in their options and construct their own
+/// streams. `Rng::derive(s, t)` and `Rng(derive_seed(s, t))` produce
+/// identical streams.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t seed,
+                                        std::uint64_t salt) noexcept;
+
 }  // namespace ddc::stats

@@ -14,11 +14,15 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
-Rng Rng::derive(std::uint64_t seed, std::uint64_t salt) {
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) noexcept {
   std::uint64_t state = seed ^ (0x6a09e667f3bcc909ULL + salt * 0x3c6ef372fe94f82bULL);
   const std::uint64_t a = splitmix64(state);
   const std::uint64_t b = splitmix64(state);
-  return Rng(a ^ (b << 1));
+  return a ^ (b << 1);
+}
+
+Rng Rng::derive(std::uint64_t seed, std::uint64_t salt) {
+  return Rng(derive_seed(seed, salt));
 }
 
 double Rng::uniform() {

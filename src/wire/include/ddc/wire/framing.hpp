@@ -1,0 +1,59 @@
+// Transport-level frame envelope.
+//
+// The message codecs in serialize.hpp describe protocol *payloads*
+// (classifications, push-sum state). Once payloads travel between
+// processes they need an outer envelope that identifies the sender,
+// orders frames, and distinguishes data from transport housekeeping
+// (liveness probes). This module defines that envelope; src/net wraps
+// every datagram in it.
+//
+// Envelope layout:
+//   magic    u32   'D','D','N',version (=1)
+//   kind     u8    FrameKind
+//   sender   u32   peer id of the originating endpoint
+//   seq      u64   per-sender monotonic sequence number
+//   payload  ...   rest of the buffer (empty for probe/probe_ack)
+//
+// Decoding is bounds-checked and throws DecodeError on bad magic,
+// unsupported version, or unknown kind — a node must survive any
+// datagram the network hands it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include <ddc/wire/codec.hpp>
+
+namespace ddc::wire {
+
+/// What a transport frame carries.
+enum class FrameKind : std::uint8_t {
+  /// The payload is a protocol message (classification, push-sum, ...).
+  gossip = 1,
+  /// Liveness probe; the receiver answers with probe_ack. Empty payload.
+  probe = 2,
+  /// Answer to a probe. Empty payload.
+  probe_ack = 3,
+};
+
+/// A decoded envelope. `payload` borrows from the buffer handed to
+/// decode_frame and is valid only as long as that buffer lives.
+struct Frame {
+  FrameKind kind;
+  std::uint32_t sender;
+  std::uint64_t seq;
+  std::span<const std::byte> payload;
+};
+
+/// Wraps `payload` in an envelope from `sender` with sequence `seq`.
+[[nodiscard]] std::vector<std::byte> encode_frame(
+    FrameKind kind, std::uint32_t sender, std::uint64_t seq,
+    std::span<const std::byte> payload = {});
+
+/// Parses an envelope; throws DecodeError on malformed input. The
+/// payload is NOT validated here — gossip payloads are decoded by the
+/// message codecs, which do their own checking.
+[[nodiscard]] Frame decode_frame(std::span<const std::byte> bytes);
+
+}  // namespace ddc::wire

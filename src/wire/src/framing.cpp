@@ -1,0 +1,50 @@
+#include <ddc/wire/framing.hpp>
+
+namespace ddc::wire {
+
+namespace {
+
+constexpr std::uint32_t kFrameMagicBase = 0x004e4444;  // "DDN\0" little-endian
+constexpr std::uint32_t kFrameVersion = 1;
+constexpr std::uint32_t kFrameMagic = kFrameMagicBase | (kFrameVersion << 24);
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(FrameKind kind, std::uint32_t sender,
+                                    std::uint64_t seq,
+                                    std::span<const std::byte> payload) {
+  Encoder enc;
+  enc.put_u32(kFrameMagic);
+  enc.put_u8(static_cast<std::uint8_t>(kind));
+  enc.put_u32(sender);
+  enc.put_u64(seq);
+  enc.put_bytes(payload);
+  return enc.bytes();
+}
+
+Frame decode_frame(std::span<const std::byte> bytes) {
+  Decoder dec(bytes);
+  const std::uint32_t magic = dec.get_u32();
+  if ((magic & 0x00ffffff) != kFrameMagicBase) {
+    throw DecodeError("wire: bad frame magic");
+  }
+  if ((magic >> 24) != kFrameVersion) {
+    throw DecodeError("wire: unsupported frame version " +
+                      std::to_string(magic >> 24));
+  }
+  const std::uint8_t kind = dec.get_u8();
+  if (kind < 1 || kind > 3) {
+    throw DecodeError("wire: unknown frame kind " + std::to_string(kind));
+  }
+  Frame frame;
+  frame.kind = static_cast<FrameKind>(kind);
+  frame.sender = dec.get_u32();
+  frame.seq = dec.get_u64();
+  frame.payload = bytes.subspan(bytes.size() - dec.remaining());
+  if (frame.kind != FrameKind::gossip && !frame.payload.empty()) {
+    throw DecodeError("wire: probe frame with payload");
+  }
+  return frame;
+}
+
+}  // namespace ddc::wire

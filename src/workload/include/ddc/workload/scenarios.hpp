@@ -42,6 +42,14 @@ struct OutlierScenario {
                                                std::size_t n_good = 950,
                                                std::size_t n_outlier = 50);
 
+/// The ddcsim/ddcnode "clusters" smoke workload: `n` 1-D values, even
+/// node indices ~ N(0, 1), odd ones ~ N(25, 2) — two far-apart clusters
+/// any correct classifier must separate. Lives here (not in the tools)
+/// so the in-process simulator and the networked daemon generate
+/// byte-identical inputs from the same seed and stay comparable.
+[[nodiscard]] std::vector<linalg::Vector> two_clusters_inputs(
+    std::size_t n, stats::Rng& rng);
+
 /// The introduction's load-balancing scenario: `n` machines whose loads
 /// (in [0, 1]) cluster around `low` and `high` (half each, ±`spread`
 /// normal jitter, clamped to [0, 1]). Returns 1-D vectors.

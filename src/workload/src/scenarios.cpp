@@ -54,6 +54,17 @@ OutlierScenario outlier_scenario(double delta, stats::Rng& rng,
   return scenario;
 }
 
+std::vector<Vector> two_clusters_inputs(std::size_t n, stats::Rng& rng) {
+  DDC_EXPECTS(n >= 2);
+  std::vector<Vector> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(Vector{i % 2 == 0 ? rng.normal(0.0, 1.0)
+                                       : rng.normal(25.0, 2.0)});
+  }
+  return inputs;
+}
+
 std::vector<Vector> load_balancing_inputs(std::size_t n, stats::Rng& rng,
                                           double low, double high,
                                           double spread) {

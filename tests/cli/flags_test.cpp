@@ -58,6 +58,43 @@ TEST(Flags, UnknownFlagRejected) {
   EXPECT_THROW((void)flags.parse({"--bogus", "1"}), FlagError);
 }
 
+TEST(Flags, UnknownFlagErrorCarriesDidYouMeanHint) {
+  Flags flags = make_flags();
+  try {
+    (void)flags.parse({"--ndoes", "5"});
+    FAIL() << "parse accepted an unknown flag";
+  } catch (const FlagError& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean --nodes"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Flags, UnknownFlagWithNoCloseMatchPointsAtHelp) {
+  Flags flags = make_flags();
+  try {
+    (void)flags.parse({"--zzzzzzzz"});
+    FAIL() << "parse accepted an unknown flag";
+  } catch (const FlagError& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("--help"), std::string::npos) << what;
+  }
+}
+
+TEST(Flags, SuggestFindsNearMisses) {
+  const Flags flags = make_flags();
+  // One edit away.
+  EXPECT_EQ(flags.suggest("node"), "nodes");
+  // Transposition = two edits.
+  EXPECT_EQ(flags.suggest("ndoes"), "nodes");
+  // A prefix of a declared name counts even when the distance is larger.
+  EXPECT_EQ(flags.suggest("verb"), "verbose");
+  // Nothing close.
+  EXPECT_EQ(flags.suggest("quux"), std::nullopt);
+  EXPECT_EQ(flags.suggest(""), std::nullopt);
+}
+
 TEST(Flags, MissingValueRejected) {
   Flags flags = make_flags();
   EXPECT_THROW((void)flags.parse({"--nodes"}), FlagError);

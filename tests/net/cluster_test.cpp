@@ -1,0 +1,206 @@
+// Cluster — the full networked stack (NetNode + wire framing + loopback
+// fabric) hosting the protocol workloads the simulation runners are
+// tested with. Pins the two properties the subsystem exists for:
+// networked executions behave like simulated ones, and loopback runs
+// are deterministic end to end.
+#include <ddc/net/cluster.hpp>
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <ddc/gossip/classifier_node.hpp>
+#include <ddc/gossip/network.hpp>
+#include <ddc/metrics/classification_metrics.hpp>
+#include <ddc/sim/round_runner.hpp>
+#include <ddc/stats/rng.hpp>
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+namespace ddc::net {
+namespace {
+
+using gossip::CentroidNode;
+using gossip::GmNode;
+using gossip::NetworkConfig;
+using linalg::Vector;
+using metrics::classification_distance;
+using summaries::CentroidPolicy;
+using summaries::GaussianPolicy;
+
+using CentroidCluster = Cluster<CentroidNode, ClassificationCodec<Vector>>;
+using GmCluster = Cluster<GmNode, ClassificationCodec<stats::Gaussian>>;
+
+NetworkConfig config_with(std::size_t k, std::uint64_t seed) {
+  NetworkConfig c;
+  c.k = k;
+  c.quanta_per_unit = std::int64_t{1} << 16;
+  c.seed = seed;
+  return c;
+}
+
+std::vector<Vector> clusters_inputs(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  return workload::two_clusters_inputs(n, rng);
+}
+
+TEST(Cluster, LosslessRunConservesWeightAndConverges) {
+  const std::size_t n = 16;
+  const auto config = config_with(2, 5);
+  CentroidCluster cluster(sim::Topology::complete(n),
+                          gossip::make_centroid_nodes(clusters_inputs(n, 5),
+                                                      config),
+                          {});
+  cluster.run_rounds(30);
+  // Nothing in flight at a round boundary with zero delay, no losses, no
+  // crashes: every quantum of weight is accounted for.
+  EXPECT_EQ(metrics::total_quanta(cluster.nodes()),
+            static_cast<std::int64_t>(n) * config.quanta_per_unit);
+  // Summaries agree exactly; relative weights converge geometrically, so
+  // a small residual imbalance remains after 30 rounds.
+  EXPECT_LT(metrics::max_disagreement_vs_first<CentroidPolicy>(
+                cluster.nodes()),
+            1e-2);
+}
+
+TEST(Cluster, ConvergenceSoakUnderLossAndCrashes) {
+  // The tier-1 soak from ISSUE 2: 64 nodes, 10% channel loss, 5%
+  // per-round crash probability — the survivors must still agree on a
+  // single common classification of the two-cluster workload.
+  const std::size_t n = 64;
+  ClusterOptions options;
+  options.seed = 42;
+  options.loss_probability = 0.1;
+  options.crash_probability = 0.05;
+  CentroidCluster cluster(
+      sim::Topology::complete(n),
+      gossip::make_centroid_nodes(clusters_inputs(n, 42), config_with(2, 42)),
+      options);
+  // 64 · 0.95⁴⁰ ≈ 8 expected survivors — enough rounds to converge on
+  // the complete graph, enough survivors left to check agreement.
+  cluster.run_rounds(40);
+  cluster.drain(4);
+
+  ASSERT_GE(cluster.alive_count(), 2u);
+  const CentroidNode* reference = nullptr;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    if (!cluster.alive(i)) continue;
+    if (reference == nullptr) {
+      reference = &cluster.node(i);
+      continue;
+    }
+    EXPECT_LT(classification_distance<CentroidPolicy>(
+                  reference->classification(),
+                  cluster.node(i).classification()),
+              0.5)
+        << "node " << i << " disagrees with the first survivor";
+  }
+  // The agreed classification is the workload's two clusters (0 and 25).
+  ASSERT_NE(reference, nullptr);
+  ASSERT_EQ(reference->classification().size(), 2u);
+  double lo = reference->classification()[0].summary[0];
+  double hi = reference->classification()[1].summary[0];
+  if (lo > hi) std::swap(lo, hi);
+  EXPECT_NEAR(lo, 0.0, 3.0);
+  EXPECT_NEAR(hi, 25.0, 3.0);
+}
+
+/// Serialized final state of every live node — summaries, weights,
+/// liveness — byte for byte.
+std::string fingerprint(CentroidCluster& cluster) {
+  std::string out;
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    out += cluster.alive(i) ? "live " : "dead ";
+    const auto& c = cluster.node(i).classification();
+    for (std::size_t j = 0; j < c.size(); ++j) {
+      out += std::to_string(c[j].weight.quanta()) + "@";
+      for (const double x : c[j].summary) out += std::to_string(x) + ",";
+    }
+    out += ";";
+  }
+  return out;
+}
+
+TEST(Cluster, BitIdenticalAcrossRunsForFixedSeed) {
+  const std::size_t n = 12;
+  ClusterOptions options;
+  options.seed = 99;
+  options.loss_probability = 0.15;
+  options.min_delay_ticks = 0;
+  options.max_delay_ticks = 2;
+  options.crash_probability = 0.02;
+  auto run = [&] {
+    CentroidCluster cluster(sim::Topology::complete(n),
+                            gossip::make_centroid_nodes(
+                                clusters_inputs(n, 99), config_with(2, 99)),
+                            options);
+    cluster.run_rounds(25);
+    cluster.drain(4);
+    return fingerprint(cluster);
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(Cluster, DelayedFramesSpanRoundsAndStillConverge) {
+  const std::size_t n = 8;
+  ClusterOptions options;
+  options.seed = 3;
+  options.min_delay_ticks = 1;
+  options.max_delay_ticks = 4;
+  CentroidCluster cluster(sim::Topology::complete(n),
+                          gossip::make_centroid_nodes(clusters_inputs(n, 3),
+                                                      config_with(2, 3)),
+                          options);
+  cluster.run_rounds(40);
+  cluster.drain(8);
+  EXPECT_EQ(metrics::total_quanta(cluster.nodes()),
+            static_cast<std::int64_t>(n) * (std::int64_t{1} << 16));
+  // In-flight frames keep weight sloshing between nodes, so the residual
+  // relative-weight imbalance is larger than in the lockstep run.
+  EXPECT_LT(metrics::max_disagreement_vs_first<CentroidPolicy>(
+                cluster.nodes()),
+            0.1);
+}
+
+TEST(Cluster, GmMatchesSimulatorAccuracy) {
+  // The networked stack and the in-process round engine drive the same
+  // node code over the same workload; both must land on the true
+  // two-cluster structure (means ≈ 0 and 25, weights ≈ ½ each).
+  const std::size_t n = 16;
+  const std::uint64_t seed = 11;
+  const auto inputs = clusters_inputs(n, seed);
+  const auto config = config_with(2, seed);
+
+  GmCluster cluster(sim::Topology::complete(n),
+                    gossip::make_gm_nodes(inputs, config), {});
+  cluster.run_rounds(30);
+
+  sim::RoundRunner<GmNode> runner(sim::Topology::complete(n),
+                                  gossip::make_gm_nodes(inputs, config));
+  runner.run_rounds(30);
+
+  auto check = [&](const core::Classification<stats::Gaussian>& c) {
+    ASSERT_EQ(c.size(), 2u);
+    double lo = c[0].summary.mean()[0];
+    double hi = c[1].summary.mean()[0];
+    std::size_t lo_index = lo <= hi ? 0 : 1;
+    if (lo > hi) std::swap(lo, hi);
+    EXPECT_NEAR(lo, 0.0, 2.0);
+    EXPECT_NEAR(hi, 25.0, 2.0);
+    EXPECT_NEAR(c.relative_weight(lo_index), 0.5, 0.05);
+  };
+  check(cluster.node(0).classification());
+  check(runner.nodes()[0].classification());
+  // And the two stacks agree with each other within the same tolerance.
+  EXPECT_LT(classification_distance<GaussianPolicy>(
+                cluster.node(0).classification(),
+                runner.nodes()[0].classification()),
+            1.0);
+}
+
+}  // namespace
+}  // namespace ddc::net

@@ -1,0 +1,102 @@
+// NetNode driver mechanics over a loopback fabric: gossip exchange,
+// hostile-input tolerance, and failure-detector-aware target selection.
+#include <ddc/net/net_node.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/gossip/classifier_node.hpp>
+#include <ddc/gossip/network.hpp>
+#include <ddc/net/codec.hpp>
+#include <ddc/net/loopback.hpp>
+#include <ddc/wire/framing.hpp>
+
+namespace ddc::net {
+namespace {
+
+using gossip::CentroidNode;
+using gossip::NetworkConfig;
+using linalg::Vector;
+
+using Driver = NetNode<CentroidNode, ClassificationCodec<Vector>>;
+
+std::vector<CentroidNode> make_nodes(const std::vector<Vector>& inputs) {
+  NetworkConfig config;
+  config.k = 2;
+  config.quanta_per_unit = 1 << 10;
+  config.seed = 21;
+  return gossip::make_centroid_nodes(inputs, config);
+}
+
+TEST(NetNode, RequiresMatchingTopologyAndPeerTable) {
+  LoopbackNetwork net(3);
+  auto nodes = make_nodes({Vector{0.0}, Vector{1.0}});
+  EXPECT_THROW(Driver(std::move(nodes[0]), net.endpoint(0),
+                      sim::Topology::complete(2)),
+               ContractViolation);
+}
+
+TEST(NetNode, OneExchangeMovesWeight) {
+  LoopbackNetwork net(2);
+  auto nodes = make_nodes({Vector{0.0}, Vector{10.0}});
+  const auto topology = sim::Topology::complete(2);
+  Driver a(std::move(nodes[0]), net.endpoint(0), topology);
+  Driver b(std::move(nodes[1]), net.endpoint(1), topology);
+
+  EXPECT_TRUE(a.begin_round());
+  net.advance();
+  EXPECT_EQ(b.service(), 1u);
+  EXPECT_EQ(b.messages_absorbed(), 1u);
+  EXPECT_EQ(a.rounds_initiated(), 1u);
+  // b now holds its own unit plus the half a shipped.
+  EXPECT_EQ(b.node().classification().total_weight().quanta(),
+            (1 << 10) + (1 << 9));
+  EXPECT_EQ(a.node().classification().total_weight().quanta(), 1 << 9);
+}
+
+TEST(NetNode, GarbageAndNonGossipFramesAreTolerated) {
+  LoopbackNetwork net(2);
+  auto nodes = make_nodes({Vector{0.0}, Vector{1.0}});
+  const auto topology = sim::Topology::complete(2);
+  Driver b(std::move(nodes[1]), net.endpoint(1), topology);
+
+  // Raw garbage: fails the envelope, counted as a decode error.
+  net.endpoint(0).send(1, {std::byte{0x00}, std::byte{0x11}});
+  // Valid envelope, garbage payload: fails the message codec.
+  net.endpoint(0).send(
+      1, wire::encode_frame(wire::FrameKind::gossip, 0, 1,
+                            std::vector<std::byte>{std::byte{0xff}}));
+  // Probe frames pass the envelope but are not gossip: silently skipped.
+  net.endpoint(0).send(1, wire::encode_frame(wire::FrameKind::probe, 0, 2));
+  net.advance();
+  EXPECT_EQ(b.service(), 0u);
+  EXPECT_EQ(b.decode_errors(), 2u);
+  EXPECT_EQ(b.messages_absorbed(), 0u);
+}
+
+TEST(NetNode, SkipsUnreachablePeers) {
+  // Three nodes; node 0's only reachable neighbor is 2 once 1 is down,
+  // so every send lands on 2.
+  LoopbackNetwork net(3);
+  auto nodes = make_nodes({Vector{0.0}, Vector{1.0}, Vector{2.0}});
+  const auto topology = sim::Topology::complete(3);
+  Driver a(std::move(nodes[0]), net.endpoint(0), topology);
+  net.set_peer_up(1, false);
+  for (int r = 0; r < 6; ++r) EXPECT_TRUE(a.begin_round());
+  EXPECT_EQ(net.endpoint(0).stats(1).frames_sent, 0u);
+  EXPECT_EQ(net.endpoint(0).stats(2).frames_sent, 6u);
+}
+
+TEST(NetNode, NoReachableNeighborMeansNoSend) {
+  LoopbackNetwork net(2);
+  auto nodes = make_nodes({Vector{0.0}, Vector{1.0}});
+  const auto topology = sim::Topology::complete(2);
+  Driver a(std::move(nodes[0]), net.endpoint(0), topology);
+  net.set_peer_up(1, false);
+  EXPECT_FALSE(a.begin_round());
+  EXPECT_EQ(a.rounds_initiated(), 0u);
+  // The split never happened: a still holds its full unit of weight.
+  EXPECT_EQ(a.node().classification().total_weight().quanta(), 1 << 10);
+}
+
+}  // namespace
+}  // namespace ddc::net

@@ -1,0 +1,100 @@
+#include <ddc/wire/framing.hpp>
+
+#include <gtest/gtest.h>
+
+#include <ddc/wire/serialize.hpp>
+
+namespace ddc::wire {
+namespace {
+
+std::vector<std::byte> sample_payload() {
+  return {std::byte{0xde}, std::byte{0xad}, std::byte{0xbe}, std::byte{0xef}};
+}
+
+TEST(Framing, GossipRoundtripCarriesPayload) {
+  const auto payload = sample_payload();
+  const auto bytes = encode_frame(FrameKind::gossip, 7, 42, payload);
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.kind, FrameKind::gossip);
+  EXPECT_EQ(frame.sender, 7u);
+  EXPECT_EQ(frame.seq, 42u);
+  ASSERT_EQ(frame.payload.size(), payload.size());
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(frame.payload[i], payload[i]);
+  }
+}
+
+TEST(Framing, ProbeAndAckRoundtripEmpty) {
+  for (const auto kind : {FrameKind::probe, FrameKind::probe_ack}) {
+    const auto bytes = encode_frame(kind, 3, 9);
+    const Frame frame = decode_frame(bytes);
+    EXPECT_EQ(frame.kind, kind);
+    EXPECT_EQ(frame.sender, 3u);
+    EXPECT_EQ(frame.seq, 9u);
+    EXPECT_TRUE(frame.payload.empty());
+  }
+}
+
+TEST(Framing, GossipPayloadMayBeEmpty) {
+  const auto bytes = encode_frame(FrameKind::gossip, 0, 1);
+  EXPECT_TRUE(decode_frame(bytes).payload.empty());
+}
+
+TEST(Framing, BadMagicRejected) {
+  auto bytes = encode_frame(FrameKind::gossip, 1, 1, sample_payload());
+  bytes[0] ^= std::byte{0xff};
+  EXPECT_THROW((void)decode_frame(bytes), DecodeError);
+}
+
+TEST(Framing, UnsupportedVersionRejected) {
+  auto bytes = encode_frame(FrameKind::gossip, 1, 1, sample_payload());
+  // The version rides in the magic's top byte (little-endian offset 3).
+  bytes[3] = std::byte{99};
+  EXPECT_THROW((void)decode_frame(bytes), DecodeError);
+}
+
+TEST(Framing, UnknownKindRejected) {
+  auto bytes = encode_frame(FrameKind::gossip, 1, 1, sample_payload());
+  bytes[4] = std::byte{0};
+  EXPECT_THROW((void)decode_frame(bytes), DecodeError);
+  bytes[4] = std::byte{4};
+  EXPECT_THROW((void)decode_frame(bytes), DecodeError);
+}
+
+TEST(Framing, ProbeWithPayloadRejected) {
+  auto probe = encode_frame(FrameKind::probe, 1, 1);
+  probe.push_back(std::byte{0x55});
+  EXPECT_THROW((void)decode_frame(probe), DecodeError);
+}
+
+TEST(Framing, EveryStrictPrefixOfProbeRejected) {
+  const auto bytes = encode_frame(FrameKind::probe_ack, 12, 34);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(
+        (void)decode_frame(std::span<const std::byte>(bytes.data(), len)),
+        DecodeError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Framing, PayloadBorrowsFromInputBuffer) {
+  const auto payload = sample_payload();
+  const auto bytes = encode_frame(FrameKind::gossip, 2, 5, payload);
+  const Frame frame = decode_frame(bytes);
+  ASSERT_GE(frame.payload.data(), bytes.data());
+  EXPECT_EQ(frame.payload.data() + frame.payload.size(),
+            bytes.data() + bytes.size());
+}
+
+TEST(Framing, EnvelopeDoesNotValidateGossipPayload) {
+  // Garbage gossip payloads pass the envelope — the message codec is
+  // responsible for rejecting them.
+  const auto bytes = encode_frame(FrameKind::gossip, 1, 1, sample_payload());
+  const Frame frame = decode_frame(bytes);
+  EXPECT_THROW(
+      (void)decode_classification<stats::Gaussian>(frame.payload),
+      DecodeError);
+}
+
+}  // namespace
+}  // namespace ddc::wire

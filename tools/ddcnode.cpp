@@ -1,0 +1,272 @@
+// ddcnode — one networked classification node.
+//
+// Runs a single protocol endpoint (the same GM or centroid node the
+// simulator drives) over UDP. A cluster is N of these processes sharing
+// static configuration: every node derives the full input set, the
+// topology and the peer table from the same --seed/--nodes flags and
+// takes the row matching its --id — exactly how a sensor deployment
+// ships one flashed configuration to every mote.
+//
+// Lifecycle: bind socket → wait until every peer has been heard from
+// (bounded by --start-timeout-ms) → gossip for --rounds ticks → drain →
+// print the final classification as a RESULT line on stdout.
+//
+//   ddcnode --id 3 --nodes 8 --base-port 9800 --protocol gm
+//
+// scripts/run_cluster.sh launches and checks a whole cluster.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include <ddc/cli/flags.hpp>
+#include <ddc/gossip/network.hpp>
+#include <ddc/net/codec.hpp>
+#include <ddc/net/net_node.hpp>
+#include <ddc/net/udp.hpp>
+#include <ddc/sim/topology.hpp>
+#include <ddc/stats/rng.hpp>
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+#include "result_line.hpp"
+
+namespace {
+
+using ddc::linalg::Vector;
+
+struct Config {
+  std::size_t id;
+  std::size_t nodes;
+  std::uint16_t base_port;
+  std::string host;
+  std::string protocol;
+  std::string workload;
+  std::string topology;
+  std::size_t k;
+  std::size_t rounds;
+  std::size_t tick_ms;
+  std::size_t drain_ticks;
+  std::size_t start_timeout_ms;
+  std::size_t probe_timeout_ms;
+  int probe_retries;
+  double loss_prob;
+  std::uint64_t seed;
+  int quanta_exp;
+  bool verbose;
+};
+
+std::vector<Vector> make_inputs(const Config& config) {
+  ddc::stats::Rng rng(config.seed);
+  if (config.workload == "clusters") {
+    return ddc::workload::two_clusters_inputs(config.nodes, rng);
+  }
+  if (config.workload == "fence") {
+    return ddc::workload::sample_inputs(ddc::workload::fig2_mixture(),
+                                        config.nodes, rng);
+  }
+  throw ddc::ConfigError("unknown workload '" + config.workload + "'");
+}
+
+ddc::sim::Topology make_topology(const Config& config) {
+  if (config.topology == "complete") {
+    return ddc::sim::Topology::complete(config.nodes);
+  }
+  if (config.topology == "ring") return ddc::sim::Topology::ring(config.nodes);
+  throw ddc::ConfigError("unknown topology '" + config.topology + "'");
+}
+
+ddc::net::UdpTransport make_transport(const Config& config) {
+  std::vector<ddc::net::UdpPeer> peers;
+  peers.reserve(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    peers.push_back({config.host,
+                     static_cast<std::uint16_t>(config.base_port + i)});
+  }
+  ddc::net::UdpOptions options;
+  options.probe_timeout = std::chrono::milliseconds(config.probe_timeout_ms);
+  options.probe_retries = config.probe_retries;
+  options.inject_receive_loss = config.loss_prob;
+  options.loss_seed = ddc::stats::derive_seed(config.seed, 7000 + config.id);
+  return ddc::net::UdpTransport(static_cast<ddc::net::PeerId>(config.id),
+                                std::move(peers), options);
+}
+
+/// Startup barrier: wait (bounded) until every peer has been heard from
+/// at least once, so slow-starting processes don't miss the first
+/// splits. Proceeds after the timeout regardless — a peer that is down
+/// from the start must not wedge the cluster. Serviced through the
+/// driver, not the raw transport: a faster peer may already be
+/// gossiping, and discarding its frames here would destroy the weight
+/// they carry.
+template <typename Driver>
+void await_peers(const Config& config, ddc::net::UdpTransport& transport,
+                 Driver& driver) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config.start_timeout_ms);
+  while (Clock::now() < deadline) {
+    (void)driver.service();
+    transport.maintain();
+    bool all_heard = true;
+    for (std::size_t p = 0; p < config.nodes; ++p) {
+      if (p == config.id) continue;
+      if (transport.stats(static_cast<ddc::net::PeerId>(p)).frames_received ==
+          0) {
+        all_heard = false;
+        break;
+      }
+    }
+    if (all_heard) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::cerr << "ddcnode " << config.id
+            << ": start barrier timed out; proceeding\n";
+}
+
+template <typename Node, typename Codec, typename MeanFn>
+int run(const Config& config, Node node, MeanFn mean_of) {
+  ddc::net::UdpTransport transport = make_transport(config);
+  ddc::net::NetNodeOptions node_options;
+  node_options.seed = ddc::stats::derive_seed(config.seed, 0x4e4f4445ULL +
+                                                               config.id);
+  ddc::net::NetNode<Node, Codec> driver(std::move(node), transport,
+                                        make_topology(config), node_options);
+  await_peers(config, transport, driver);
+
+  const auto tick = std::chrono::milliseconds(config.tick_ms);
+  for (std::size_t r = 0; r < config.rounds; ++r) {
+    (void)driver.begin_round();
+    (void)driver.service();
+    transport.maintain();
+    std::this_thread::sleep_for(tick);
+  }
+  // Quiesce: keep absorbing in-flight traffic, send nothing new.
+  for (std::size_t t = 0; t < config.drain_ticks; ++t) {
+    (void)driver.service();
+    std::this_thread::sleep_for(tick);
+  }
+
+  if (config.verbose) {
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::size_t reachable = 0;
+    for (std::size_t p = 0; p < config.nodes; ++p) {
+      const auto id = static_cast<ddc::net::PeerId>(p);
+      sent += transport.stats(id).frames_sent;
+      received += transport.stats(id).frames_received;
+      if (p != config.id && transport.peer_reachable(id)) ++reachable;
+    }
+    std::cerr << "ddcnode " << config.id << ": sent=" << sent
+              << " received=" << received
+              << " absorbed=" << driver.messages_absorbed()
+              << " decode_errors=" << driver.decode_errors()
+              << " injected_losses=" << transport.injected_losses()
+              << " reachable_peers=" << reachable << '\n';
+  }
+  std::cout << ddc::tools::result_line(driver.node().classification(), mean_of)
+            << std::endl;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddc::cli::Flags flags("ddcnode",
+                        "networked distributed-classification node (one "
+                        "process per node, gossip over UDP)");
+  flags.declare("id", "this node's index in the peer table", "0");
+  flags.declare("nodes", "cluster size", "8");
+  flags.declare("base-port", "node i listens on base-port + i", "9800");
+  flags.declare("host", "IPv4 address every node binds and dials", "127.0.0.1");
+  flags.declare("protocol", "gm | centroid", "gm");
+  flags.declare("workload", "clusters | fence", "clusters");
+  flags.declare("topology", "complete | ring", "complete");
+  flags.declare("k", "max collections per node", "2");
+  flags.declare("rounds", "gossip ticks to run", "60");
+  flags.declare("tick-ms", "milliseconds between gossip ticks", "20");
+  flags.declare("drain-ticks", "receive-only ticks after the last round", "25");
+  flags.declare("start-timeout-ms", "max wait for peers at startup", "5000");
+  flags.declare("probe-timeout-ms", "silence span before probing a peer",
+                "250");
+  flags.declare("probe-retries", "unanswered probes before a peer is dead",
+                "3");
+  flags.declare("loss-prob",
+                "probability of dropping each incoming datagram (loss "
+                "injection for tests)",
+                "0");
+  flags.declare("seed", "cluster-wide RNG seed", "1");
+  flags.declare("quanta-exp", "weight quanta per unit = 2^this", "20");
+  flags.declare_bool("verbose", "print traffic stats to stderr");
+
+  try {
+    if (!flags.parse(argc, argv)) {
+      std::cout << flags.help_text();
+      return 0;
+    }
+    const Config config{
+        static_cast<std::size_t>(flags.get_int("id")),
+        static_cast<std::size_t>(flags.get_int("nodes")),
+        static_cast<std::uint16_t>(flags.get_int("base-port")),
+        flags.get("host"),
+        flags.get("protocol"),
+        flags.get("workload"),
+        flags.get("topology"),
+        static_cast<std::size_t>(flags.get_int("k")),
+        static_cast<std::size_t>(flags.get_int("rounds")),
+        static_cast<std::size_t>(flags.get_int("tick-ms")),
+        static_cast<std::size_t>(flags.get_int("drain-ticks")),
+        static_cast<std::size_t>(flags.get_int("start-timeout-ms")),
+        static_cast<std::size_t>(flags.get_int("probe-timeout-ms")),
+        static_cast<int>(flags.get_int("probe-retries")),
+        flags.get_double("loss-prob"),
+        static_cast<std::uint64_t>(flags.get_int("seed")),
+        static_cast<int>(flags.get_int("quanta-exp")),
+        flags.get_bool("verbose"),
+    };
+    if (config.nodes < 2) throw ddc::ConfigError("--nodes must be ≥ 2");
+    if (config.id >= config.nodes) {
+      throw ddc::ConfigError("--id must be < --nodes");
+    }
+    if (config.quanta_exp < 0 || config.quanta_exp > 62) {
+      throw ddc::ConfigError("--quanta-exp must be in [0, 62]");
+    }
+    if (config.loss_prob < 0.0 || config.loss_prob > 1.0) {
+      throw ddc::ConfigError("--loss-prob must be in [0, 1]");
+    }
+
+    const std::vector<Vector> inputs = make_inputs(config);
+    ddc::gossip::NetworkConfig net;
+    net.k = config.k;
+    net.quanta_per_unit = std::int64_t{1} << config.quanta_exp;
+    net.seed = config.seed;
+    const auto options =
+        ddc::gossip::node_options(net, config.id, config.nodes);
+
+    if (config.protocol == "gm") {
+      ddc::gossip::GmNode node(
+          inputs[config.id],
+          ddc::partition::EmPartition(
+              ddc::stats::Rng::derive(config.seed, config.id), {}),
+          options);
+      return run<ddc::gossip::GmNode,
+                 ddc::net::ClassificationCodec<ddc::stats::Gaussian>>(
+          config, std::move(node),
+          [](const ddc::stats::Gaussian& g) { return g.mean(); });
+    }
+    if (config.protocol == "centroid") {
+      ddc::gossip::CentroidNode node(
+          inputs[config.id],
+          ddc::partition::GreedyDistancePartition<
+              ddc::summaries::CentroidPolicy>{},
+          options);
+      return run<ddc::gossip::CentroidNode,
+                 ddc::net::ClassificationCodec<Vector>>(
+          config, std::move(node), [](const Vector& v) { return v; });
+    }
+    throw ddc::ConfigError("unknown protocol '" + config.protocol + "'");
+  } catch (const ddc::Error& e) {
+    std::cerr << "ddcnode: " << e.what() << '\n';
+    return 1;
+  }
+}

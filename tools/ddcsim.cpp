@@ -22,6 +22,8 @@
 #include <ddc/summaries/gaussian_summary.hpp>
 #include <ddc/workload/scenarios.hpp>
 
+#include "result_line.hpp"
+
 namespace {
 
 using ddc::linalg::Vector;
@@ -44,6 +46,7 @@ struct Config {
   bool push_pull;
   bool round_robin;
   bool csv;
+  bool summary_line;
   std::string trace_path;
 };
 
@@ -73,12 +76,9 @@ ddc::sim::Topology make_topology(const Config& config, ddc::stats::Rng& rng) {
 
 std::vector<Vector> make_inputs(const Config& config, ddc::stats::Rng& rng) {
   if (config.workload == "clusters") {
-    std::vector<Vector> inputs;
-    for (std::size_t i = 0; i < config.nodes; ++i) {
-      inputs.push_back(Vector{i % 2 == 0 ? rng.normal(0.0, 1.0)
-                                         : rng.normal(25.0, 2.0)});
-    }
-    return inputs;
+    // Shared with ddcnode so networked and simulated runs on the same
+    // seed classify identical inputs.
+    return ddc::workload::two_clusters_inputs(config.nodes, rng);
   }
   if (config.workload == "fence") {
     return ddc::workload::sample_inputs(ddc::workload::fig2_mixture(),
@@ -138,9 +138,10 @@ void flush_trace(const Config& config, const ddc::sim::TraceRecorder& trace) {
             << config.trace_path << '\n';
 }
 
-template <typename Policy, typename Node, typename SummaryPrinter>
+template <typename Policy, typename Node, typename SummaryPrinter,
+          typename MeanFn>
 int run_classifier(const Config& config, ddc::sim::RoundRunner<Node> runner,
-                   SummaryPrinter print_summary) {
+                   SummaryPrinter print_summary, MeanFn mean_of) {
   ddc::sim::TraceRecorder trace;
   if (!config.trace_path.empty()) runner.set_trace(&trace);
 
@@ -165,6 +166,11 @@ int run_classifier(const Config& config, ddc::sim::RoundRunner<Node> runner,
                     print_summary(c[j].summary)});
   }
   emit(config, result);
+  if (config.summary_line) {
+    // Machine-readable mirror of node 0's classification, comparable
+    // against a ddcnode cluster's RESULT lines (scripts/run_cluster.sh).
+    std::cout << ddc::tools::result_line(c, mean_of) << '\n';
+  }
   flush_trace(config, trace);
   return 0;
 }
@@ -248,6 +254,9 @@ int main(int argc, char** argv) {
   flags.declare_bool("push-pull", "shorthand for --pattern push-pull");
   flags.declare_bool("round-robin", "round-robin neighbor selection");
   flags.declare_bool("csv", "emit CSV instead of aligned tables");
+  flags.declare_bool("summary-line",
+                     "also print node 0's final classification as a "
+                     "machine-readable RESULT line (gm/centroid)");
 
   try {
     if (!flags.parse(argc, argv)) {
@@ -272,6 +281,7 @@ int main(int argc, char** argv) {
         flags.get_bool("push-pull"),
         flags.get_bool("round-robin"),
         flags.get_bool("csv"),
+        flags.get_bool("summary-line"),
         flags.get("trace"),
     };
     if (flags.get_int("threads") < 0) {
@@ -296,14 +306,16 @@ int main(int argc, char** argv) {
           config,
           ddc::sim::make_gm_round_runner(std::move(topology), inputs, net,
                                          runner_options(config)),
-          [](const ddc::stats::Gaussian& g) { return describe(g); });
+          [](const ddc::stats::Gaussian& g) { return describe(g); },
+          [](const ddc::stats::Gaussian& g) { return g.mean(); });
     }
     if (config.protocol == "centroid") {
       return run_classifier<ddc::summaries::CentroidPolicy>(
           config,
           ddc::sim::make_centroid_round_runner(std::move(topology), inputs, net,
                                                runner_options(config)),
-          [](const Vector& v) { return describe(v); });
+          [](const Vector& v) { return describe(v); },
+          [](const Vector& v) { return v; });
     }
     if (config.protocol == "pushsum") {
       return run_push_sum(config,

@@ -1,0 +1,52 @@
+// Machine-readable final-classification line shared by ddcsim and
+// ddcnode, so scripts/run_cluster.sh can compare a UDP cluster's output
+// against the in-process simulator's numerically.
+//
+// Format (space-separated, fixed 6-decimal precision):
+//   RESULT <k> <w_1> <mean_1 components...> ... <w_k> <mean_k ...>
+// with collections sorted by the first mean component, so equivalent
+// classifications produce comparable lines regardless of internal order.
+#pragma once
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <ddc/core/collection.hpp>
+
+namespace ddc::tools {
+
+/// `mean_of(summary)` must yield something iterable over doubles (a
+/// linalg::Vector: the centroid itself, a Gaussian's mean, ...).
+template <typename Summary, typename MeanFn>
+[[nodiscard]] std::string result_line(
+    const core::Classification<Summary>& classification, MeanFn mean_of) {
+  struct Row {
+    double weight;
+    std::vector<double> mean;
+  };
+  std::vector<Row> rows;
+  rows.reserve(classification.size());
+  for (std::size_t i = 0; i < classification.size(); ++i) {
+    Row row;
+    row.weight = classification.relative_weight(i);
+    for (const double x : mean_of(classification[i].summary)) {
+      row.mean.push_back(x);
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.mean < b.mean;
+  });
+  std::ostringstream os;
+  os << "RESULT " << rows.size() << std::fixed << std::setprecision(6);
+  for (const Row& row : rows) {
+    os << ' ' << row.weight;
+    for (const double x : row.mean) os << ' ' << x;
+  }
+  return os.str();
+}
+
+}  // namespace ddc::tools
