@@ -4,15 +4,19 @@
 // split/receive cycle, and the simulator's event loop.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+
 #include <ddc/core/classifier.hpp>
 #include <ddc/em/mixture_reduction.hpp>
 #include <ddc/gossip/network.hpp>
 #include <ddc/gossip/runners.hpp>
 #include <ddc/linalg/cholesky.hpp>
 #include <ddc/linalg/eigen_sym.hpp>
+#include <ddc/partition/greedy.hpp>
 #include <ddc/sim/event_queue.hpp>
 #include <ddc/sim/round_runner.hpp>
 #include <ddc/stats/gaussian.hpp>
+#include <ddc/summaries/centroid.hpp>
 
 namespace {
 
@@ -117,6 +121,97 @@ void BM_ReduceRunnalls(benchmark::State& state) {
 }
 BENCHMARK(BM_ReduceRunnalls)->Arg(6)->Arg(14);
 
+// --- Hot-path benchmarks gated by scripts/bench_gate.sh ------------------
+// Names and shapes are pinned by BENCH_hotpath.json; rename in both places.
+
+std::vector<ddc::core::WeightedSummary<Vector>> partition_inputs(
+    std::size_t m) {
+  ddc::stats::Rng rng(12);
+  std::vector<ddc::core::WeightedSummary<Vector>> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    out.push_back({Vector{rng.normal(i % 2 == 0 ? 0.0 : 10.0, 1.0),
+                          rng.normal()},
+                   static_cast<double>(1 + rng.uniform_index(4))});
+  }
+  return out;
+}
+
+void BM_GreedyPartition(benchmark::State& state) {
+  const auto inputs = partition_inputs(static_cast<std::size_t>(state.range(0)));
+  const ddc::partition::GreedyDistancePartition<ddc::summaries::CentroidPolicy>
+      policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.partition(inputs, 2));
+  }
+}
+BENCHMARK(BM_GreedyPartition)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_GreedyPartitionNaive(benchmark::State& state) {
+  // The "before" side: the retained O(m³) reference implementation. Not
+  // gated (it is the thing the gate protects against regressing TO).
+  const auto inputs = partition_inputs(static_cast<std::size_t>(state.range(0)));
+  const ddc::partition::NaiveGreedyDistancePartition<
+      ddc::summaries::CentroidPolicy>
+      policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.partition(inputs, 2));
+  }
+}
+BENCHMARK(BM_GreedyPartitionNaive)->Arg(16)->Arg(64)->Arg(256);
+
+GaussianMixture estep_mixture(std::size_t m, std::uint64_t seed) {
+  ddc::stats::Rng rng(seed);
+  GaussianMixture out;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double cx = static_cast<double>(i % 3) * 10.0;
+    out.add({rng.uniform(0.5, 2.0),
+             Gaussian(Vector{rng.normal(cx, 1.0), rng.normal()},
+                      random_spd(2, rng))});
+  }
+  return out;
+}
+
+void BM_EmEStepHoisted(benchmark::State& state) {
+  // One EM E step's scoring work as run_em now does it: factorize each
+  // model component once, then score every (input, model) pair.
+  const GaussianMixture inputs = estep_mixture(14, 13);
+  const GaussianMixture models = estep_mixture(7, 14);
+  for (auto _ : state) {
+    std::vector<ddc::stats::ExpectedLogPdfScorer> scorers;
+    scorers.reserve(models.size());
+    for (std::size_t j = 0; j < models.size(); ++j) {
+      scorers.emplace_back(models[j].gaussian);
+    }
+    double acc = 0.0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (const auto& s : scorers) acc += s.score(inputs[i].gaussian);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EmEStepHoisted);
+
+void BM_EmEStepPairwise(benchmark::State& state) {
+  // The "before" side: the free function refactorizes the model for every
+  // pair, which is what the E step used to do. Not gated.
+  const GaussianMixture inputs = estep_mixture(14, 13);
+  const GaussianMixture models = estep_mixture(7, 14);
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      for (std::size_t j = 0; j < models.size(); ++j) {
+        acc += ddc::stats::expected_log_pdf(inputs[i].gaussian,
+                                            models[j].gaussian);
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_EmEStepPairwise);
+
+// --------------------------------------------------------------------------
+
 void BM_ClassifierExchange(benchmark::State& state) {
   // One full split→receive cycle between two GM nodes.
   ddc::stats::Rng rng(9);
@@ -186,6 +281,7 @@ void BM_GmNetworkRound(benchmark::State& state) {
 }
 BENCHMARK(BM_GmNetworkRound)
     ->Args({100, 1})
+    ->Args({512, 1})  // gated: the BENCH_hotpath.json round-throughput pin
     ->Args({1000, 1})
     ->Args({1000, 4})
     ->Args({1000, 8})

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Benchmark regression gate for the hot-path kernels.
+#
+# Runs the gated subset of bench/micro_ops (greedy partition, EM E-step
+# scoring, full EM reduction, classifier exchange, moment matching,
+# expected-log-pdf, 512-node GM round) and compares each kernel's median
+# real_time against the committed baseline in BENCH_hotpath.json. Fails
+# if any gated kernel is more than TOLERANCE above its baseline.
+#
+# Usage:
+#   scripts/bench_gate.sh            # full gate: 3 repetitions, 0.2s each
+#   scripts/bench_gate.sh --smoke    # quick CI pass: 1 repetition, 0.05s,
+#                                    # loose 2.0x tolerance (catches the
+#                                    # accidental-O(m^3) class of regression
+#                                    # without flaking on scheduler noise)
+#   scripts/bench_gate.sh --update   # print a fresh "gate" JSON block to
+#                                    # paste into BENCH_hotpath.json after a
+#                                    # signed-off performance change
+#
+# Environment:
+#   BUILD_DIR      build tree holding bench/micro_ops (default: build;
+#                  the top-level CMakeLists defaults to RelWithDebInfo,
+#                  so the default tree is already optimized)
+#   BASELINE       baseline file (default: BENCH_hotpath.json)
+#   DDC_BENCH_TOLERANCE  override the regression tolerance, e.g. 0.25
+#                  means "fail if median > baseline * 1.25"
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+BASELINE=${BASELINE:-BENCH_hotpath.json}
+
+MODE=full
+case "${1:-}" in
+  --smoke) MODE=smoke ;;
+  --update) MODE=update ;;
+  "") ;;
+  *) echo "usage: $0 [--smoke|--update]" >&2; exit 2 ;;
+esac
+
+REPS=3
+MIN_TIME=0.2
+TOLERANCE=${DDC_BENCH_TOLERANCE:-0.25}
+if [[ "$MODE" == smoke ]]; then
+  REPS=1
+  MIN_TIME=0.05
+  TOLERANCE=${DDC_BENCH_TOLERANCE:-2.0}
+fi
+
+if [[ ! -x "$BUILD_DIR/bench/micro_ops" ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target micro_ops -j "$(nproc)"
+fi
+
+# Keep this filter in sync with the "command" field of BENCH_hotpath.json.
+FILTER='BM_GreedyPartition/|BM_EmEStepHoisted|BM_ReduceEm/14|BM_GmNetworkRound/512/1|BM_ClassifierExchange/7|BM_MomentMatch/14$|BM_ExpectedLogPdf'
+
+BENCH_ARGS=(
+  "--benchmark_filter=$FILTER"
+  "--benchmark_min_time=$MIN_TIME"
+  "--benchmark_format=json"
+)
+if [[ "$REPS" -gt 1 ]]; then
+  BENCH_ARGS+=(
+    "--benchmark_repetitions=$REPS"
+    "--benchmark_report_aggregates_only=true"
+  )
+fi
+
+echo "bench_gate: $MODE mode (reps=$REPS min_time=${MIN_TIME}s tolerance=+$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}'))"
+RESULT_JSON=$("$BUILD_DIR/bench/micro_ops" "${BENCH_ARGS[@]}" 2>/dev/null)
+
+# Emit "name real_time" per gated kernel. With repetitions we read the
+# _median aggregate; single-rep runs report plain names.
+measured() {
+  printf '%s\n' "$RESULT_JSON" | awk -v reps="$REPS" '
+    /"name":/ {
+      name = $2
+      gsub(/[",]/, "", name)
+    }
+    /"real_time":/ {
+      rt = $2
+      gsub(/,/, "", rt)
+      if (reps > 1) {
+        if (sub(/_median$/, "", name)) print name, rt
+      } else {
+        print name, rt
+      }
+    }'
+}
+
+if [[ "$MODE" == update ]]; then
+  echo
+  echo 'Fresh "gate" block (units match BENCH_hotpath.json):'
+  echo '  "gate": {'
+  measured | awk '{printf "    \"%s\": %g,\n", $1, $2}' | sed '$ s/,$//'
+  echo '  },'
+  exit 0
+fi
+
+# Compare against the baseline. The baseline "gate" object has one
+# "name": value pair per line.
+STATUS=0
+while read -r name actual; do
+  baseline=$(awk -v key="\"$name\":" '
+    /"gate": *\{/ { in_gate = 1 }
+    in_gate && /\}/ && !/\{/ { in_gate = 0 }
+    in_gate && index($0, key) {
+      v = $NF
+      gsub(/,/, "", v)
+      print v
+    }' "$BASELINE")
+  if [[ -z "$baseline" ]]; then
+    echo "bench_gate: FAIL  $name missing from $BASELINE" >&2
+    STATUS=1
+    continue
+  fi
+  verdict=$(awk -v a="$actual" -v b="$baseline" -v t="$TOLERANCE" 'BEGIN {
+    limit = b * (1 + t)
+    printf "%s %.4g %.4g %.3fx", (a > limit ? "FAIL" : "ok"), a, limit, a / b
+  }')
+  read -r tag got limit ratio <<<"$verdict"
+  if [[ "$tag" == FAIL ]]; then
+    echo "bench_gate: FAIL  $name  median=$got > limit=$limit (${ratio} of baseline $baseline)" >&2
+    STATUS=1
+  else
+    echo "bench_gate: ok    $name  median=$got  limit=$limit  (${ratio} of baseline)"
+  fi
+done < <(measured)
+
+if [[ "$STATUS" -ne 0 ]]; then
+  echo "bench_gate: REGRESSION — a gated hot-path kernel slowed past the tolerance." >&2
+  echo "bench_gate: if the slowdown is intentional and signed off, refresh the" >&2
+  echo "bench_gate: baseline with 'scripts/bench_gate.sh --update'." >&2
+  exit 1
+fi
+echo "bench_gate: all gated kernels within +$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}') of $BASELINE."

@@ -10,6 +10,11 @@
 # decoding and socket paths where out-of-bounds reads, overflows on
 # attacker-controlled lengths, and use-after-free of receive buffers
 # would live.
+#
+# Bench gate: smoke-mode run of scripts/bench_gate.sh against the
+# committed BENCH_hotpath.json baseline, so a hot-path complexity
+# regression (say, an accidental return to the O(m³) partition rescan)
+# fails CI even when every unit test still passes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,3 +48,12 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 echo
 echo "ASan+UBSan-clean: wire, net and io test suites."
+
+# The gate needs an optimized, unsanitized binary; the default build dir
+# is RelWithDebInfo. Smoke mode keeps the run short and its tolerance
+# loose enough for a loaded CI host while still catching order-of-
+# magnitude complexity regressions.
+scripts/bench_gate.sh --smoke
+
+echo
+echo "Bench gate passed: hot-path kernels within tolerance of BENCH_hotpath.json."

@@ -1,0 +1,177 @@
+// Greedy closest-pair agglomeration with a cached distance matrix.
+//
+// Both the partition policy (paper Algorithm 2) and the greedy mixture
+// reducers repeatedly merge the closest pair of a working set until at
+// most k groups remain. Transcribed directly, each round rescans every
+// pair — O(m³) distance evaluations for m inputs — even though a merge
+// only invalidates the distances involving the merged element. This
+// helper keeps every pairwise distance in a cache and tracks each row's
+// nearest neighbor, so a full run costs O(m²) distance evaluations:
+// C(m,2) up front plus (live−1) refreshed entries per merge.
+//
+// Bit-identity contract: the grouping (and therefore every downstream
+// summary, RNG draw, and classification) is identical to the naive
+// rescan, not just equivalent. The naive loop scans pairs (a, b), a < b,
+// in lexicographic order with a strict `<` update, so ties go to the
+// lexicographically first pair and NaN/∞ distances never win (an all-∞
+// round falls back to the first pair). Three observations make the cached
+// version exact:
+//
+//   1. Merges happen in place at the lower slot and removals preserve
+//      relative order, so the naive compacted positions are always the
+//      live slots in ascending slot order; lexicographic position order
+//      IS ascending slot order.
+//   2. Each row's tracked nearest neighbor is its minimum under the same
+//      strict-`<` ascending scan (earliest column wins ties); the global
+//      winner is the strict-`<` ascending scan over row minima (earliest
+//      row wins ties). Composing the two reproduces the lexicographic
+//      pair scan exactly.
+//   3. `distance` is pure, so a cached value equals a recomputed one, and
+//      arguments are always passed (lower slot, higher slot) — the same
+//      order the naive scan evaluates them in — so even a floating-point-
+//      asymmetric distance sees identical argument order.
+//
+// The equivalence is enforced mechanically by greedy_partition_property_
+// test (optimized vs naive on randomized inputs including exact ties) and
+// by the hot-path golden digests. See DESIGN.md § Hot paths.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::common {
+
+/// Group membership: original element indices, one vector per surviving
+/// group. Structurally identical to core::Grouping.
+using AgglomerationGroups = std::vector<std::vector<std::size_t>>;
+
+/// Merge the closest pair under `distance` until at most `k` groups
+/// remain. `distance(a, b)` is called with element slots a < b and must be
+/// a pure function of the elements' current values; `merge(a, b)` must
+/// fold element b into element a (slot b is never touched again). Returns
+/// the surviving groups in ascending lowest-member order; each group's
+/// first entry is the slot its merges accumulated into. Requires k ≥ 1.
+template <typename DistanceFn, typename MergeFn>
+[[nodiscard]] AgglomerationGroups agglomerate_to_k(std::size_t size,
+                                                   std::size_t k,
+                                                   DistanceFn&& distance,
+                                                   MergeFn&& merge) {
+  DDC_EXPECTS(k >= 1);
+  AgglomerationGroups groups(size);
+  for (std::size_t i = 0; i < size; ++i) groups[i] = {i};
+  if (size <= k) return groups;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t invalid = size;
+
+  // Live slots, always in ascending order (merges keep the lower slot).
+  std::vector<std::size_t> live(size);
+  std::iota(live.begin(), live.end(), std::size_t{0});
+
+  // dist[a·size + b] caches distance(a, b) for live slots a < b; rows
+  // additionally track their nearest neighbor (earliest column on ties).
+  std::vector<double> dist(size * size, kInf);
+  std::vector<double> nn_dist(size, kInf);
+  std::vector<std::size_t> nn_slot(size, invalid);
+  const auto cached = [&](std::size_t a, std::size_t b) -> double& {
+    return dist[a * size + b];
+  };
+
+  for (std::size_t pa = 0; pa + 1 < live.size(); ++pa) {
+    const std::size_t a = live[pa];
+    for (std::size_t pb = pa + 1; pb < live.size(); ++pb) {
+      const std::size_t b = live[pb];
+      const double d = distance(a, b);
+      cached(a, b) = d;
+      if (d < nn_dist[a]) {
+        nn_dist[a] = d;
+        nn_slot[a] = b;
+      }
+    }
+  }
+
+  // Recompute live[pa]'s nearest neighbor from the cache.
+  const auto rescan = [&](std::size_t pa) {
+    const std::size_t a = live[pa];
+    nn_dist[a] = kInf;
+    nn_slot[a] = invalid;
+    for (std::size_t pb = pa + 1; pb < live.size(); ++pb) {
+      const std::size_t b = live[pb];
+      const double d = cached(a, b);
+      if (d < nn_dist[a]) {
+        nn_dist[a] = d;
+        nn_slot[a] = b;
+      }
+    }
+  };
+
+  while (live.size() > k) {
+    // Global closest pair = strict-< scan over row minima; the first live
+    // pair is the fallback when nothing beats ∞ (matching the naive
+    // scan's (0, 1) default).
+    std::size_t best_a = live[0];
+    std::size_t best_b = live[1];
+    double best = kInf;
+    for (std::size_t p = 0; p + 1 < live.size(); ++p) {
+      const std::size_t a = live[p];
+      if (nn_dist[a] < best) {
+        best = nn_dist[a];
+        best_a = a;
+        best_b = nn_slot[a];
+      }
+    }
+
+    merge(best_a, best_b);
+    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(),
+                          groups[best_b].end());
+    live.erase(std::find(live.begin(), live.end(), best_b));
+
+    // Refresh cached distances involving the merged slot, arguments in
+    // ascending-slot order like the naive evaluation.
+    for (const std::size_t x : live) {
+      if (x == best_a) continue;
+      if (x < best_a) {
+        cached(x, best_a) = distance(x, best_a);
+      } else {
+        cached(best_a, x) = distance(best_a, x);
+      }
+    }
+
+    // Repair row minima. Only three kinds of rows can change: the merged
+    // row itself (all values fresh), rows whose minimum pointed at a slot
+    // that changed or died, and rows x < best_a whose refreshed candidate
+    // now beats (or position-ties) their tracked minimum.
+    for (std::size_t p = 0; p < live.size(); ++p) {
+      const std::size_t x = live[p];
+      if (x == best_a) {
+        rescan(p);
+        continue;
+      }
+      if (x > best_a) {
+        if (nn_slot[x] == best_b) rescan(p);
+        continue;
+      }
+      if (nn_slot[x] == best_a || nn_slot[x] == best_b) {
+        rescan(p);
+        continue;
+      }
+      const double d = cached(x, best_a);
+      if (d < nn_dist[x] || (d == nn_dist[x] && best_a < nn_slot[x])) {
+        nn_dist[x] = d;
+        nn_slot[x] = best_a;
+      }
+    }
+  }
+
+  AgglomerationGroups out;
+  out.reserve(live.size());
+  for (const std::size_t s : live) out.push_back(std::move(groups[s]));
+  return out;
+}
+
+}  // namespace ddc::common

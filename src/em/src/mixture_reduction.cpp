@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include <ddc/common/agglomerate.hpp>
 #include <ddc/common/assert.hpp>
 #include <ddc/linalg/cholesky.hpp>
 
@@ -138,6 +139,29 @@ Gaussian floored(const Gaussian& g, double eps) {
   return Gaussian(g.mean(), std::move(cov));
 }
 
+/// One model component prepared for an E step / assignment pass: the
+/// floored covariance factorized once (E steps score every input against
+/// every model component — factorizing per pair was the dominant cost),
+/// plus the component's log-prior, which is likewise input-independent.
+struct ScoringComponent {
+  stats::ExpectedLogPdfScorer scorer;
+  double log_prior;
+};
+
+/// Build the per-component scoring invariants for the current model.
+/// `out` is a reusable buffer; cleared and refilled.
+void build_scoring(const GaussianMixture& model, double floor_eps,
+                   std::vector<ScoringComponent>& out) {
+  const double model_total = model.total_weight();
+  out.clear();
+  out.reserve(model.size());
+  for (std::size_t j = 0; j < model.size(); ++j) {
+    out.push_back(
+        {stats::ExpectedLogPdfScorer(floored(model[j].gaussian, floor_eps)),
+         std::log(model[j].weight / model_total)});
+  }
+}
+
 /// One full EM optimization from the given seed components.
 EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds,
              std::size_t k, const ReductionOptions& options) {
@@ -157,7 +181,12 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
   EmRun run;
   run.model = GaussianMixture(std::move(init));
 
+  // Scratch reused across iterations: responsibilities, the factorized
+  // scoring components, per-input log-scores, and the M-step part list.
   std::vector<std::vector<double>> resp(l);
+  std::vector<ScoringComponent> scoring;
+  std::vector<double> logs;
+  std::vector<WeightedGaussian> parts;
   double prev_objective = -std::numeric_limits<double>::infinity();
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     run.iterations = iter + 1;
@@ -165,20 +194,15 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
 
     // E step: rᵢⱼ ∝ πⱼ exp(E_{Nᵢ}[log Nⱼ]) with the log-sum-exp trick;
     // accumulate the surrogate objective. Model covariances are floored
-    // for scoring only.
-    const double model_total = run.model.total_weight();
-    std::vector<Gaussian> scoring;
-    scoring.reserve(m);
-    for (std::size_t j = 0; j < m; ++j) {
-      scoring.push_back(floored(run.model[j].gaussian, floor_eps));
-    }
+    // for scoring only, and each component is factorized once per
+    // iteration (not per pair) via ScoringComponent.
+    build_scoring(run.model, floor_eps, scoring);
+    logs.resize(m);
     double objective = 0.0;
     for (std::size_t i = 0; i < l; ++i) {
-      std::vector<double> logs(m);
       double max_log = -std::numeric_limits<double>::infinity();
       for (std::size_t j = 0; j < m; ++j) {
-        logs[j] = std::log(run.model[j].weight / model_total) +
-                  stats::expected_log_pdf(input[i].gaussian, scoring[j]);
+        logs[j] = scoring[j].log_prior + scoring[j].scorer.score(input[i].gaussian);
         max_log = std::max(max_log, logs[j]);
       }
       resp[i].assign(m, 0.0);
@@ -197,9 +221,8 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
     // weighted inputs.
     std::vector<WeightedGaussian> next;
     next.reserve(m);
-    std::vector<std::size_t> alive;  // model indices that kept mass
     for (std::size_t j = 0; j < m; ++j) {
-      std::vector<WeightedGaussian> parts;
+      parts.clear();
       double mass = 0.0;
       for (std::size_t i = 0; i < l; ++i) {
         const double w = input[i].weight * resp[i][j];
@@ -209,7 +232,6 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
       }
       if (parts.empty()) continue;
       next.push_back({mass, stats::moment_match(parts)});
-      alive.push_back(j);
     }
     DDC_ASSERT(!next.empty());
     run.model = GaussianMixture(std::move(next));
@@ -224,19 +246,14 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
   // Hard assignment by final responsibilities against the final model
   // (same floored scoring as the E step, for consistency).
   const std::size_t m = run.model.size();
-  const double model_total = run.model.total_weight();
-  std::vector<Gaussian> scoring;
-  scoring.reserve(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    scoring.push_back(floored(run.model[j].gaussian, floor_eps));
-  }
+  build_scoring(run.model, floor_eps, scoring);
   run.assignment.assign(l, 0);
   run.assignment_score.assign(l, 0.0);
   for (std::size_t i = 0; i < l; ++i) {
     double best = -std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < m; ++j) {
-      const double score = std::log(run.model[j].weight / model_total) +
-                           stats::expected_log_pdf(input[i].gaussian, scoring[j]);
+      const double score =
+          scoring[j].log_prior + scoring[j].scorer.score(input[i].gaussian);
       if (score > best) {
         best = score;
         run.assignment[i] = j;
@@ -249,48 +266,32 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
 }
 
 /// Shared scaffolding for the greedy pairwise reducers: repeatedly merge
-/// the best pair according to `cost` until at most k groups remain.
+/// the best pair according to `cost` until at most k groups remain, via
+/// the cached-distance agglomeration core (O(m²) cost evaluations; see
+/// common/agglomerate.hpp for the bit-identity argument).
 template <typename CostFn>
 ReductionResult reduce_greedy(const GaussianMixture& input, std::size_t k,
                               CostFn cost) {
   DDC_EXPECTS(k >= 1);
   if (input.size() <= k) return identity_result(input);
 
-  // Working set of merged groups, each with its current merged component.
-  std::vector<std::vector<std::size_t>> groups(input.size());
+  // Working components, slot-stable: merges fold into the lower slot.
   std::vector<WeightedGaussian> current;
   current.reserve(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    groups[i] = {i};
-    current.push_back(input[i]);
-  }
-
-  while (groups.size() > k) {
-    std::size_t best_a = 0;
-    std::size_t best_b = 1;
-    double best_cost = std::numeric_limits<double>::infinity();
-    for (std::size_t a = 0; a + 1 < groups.size(); ++a) {
-      for (std::size_t b = a + 1; b < groups.size(); ++b) {
-        const double c = cost(current[a], current[b]);
-        if (c < best_cost) {
-          best_cost = c;
-          best_a = a;
-          best_b = b;
-        }
-      }
-    }
-    // Merge b into a, then drop b.
-    current[best_a] = {current[best_a].weight + current[best_b].weight,
-                       stats::moment_match({current[best_a], current[best_b]})};
-    groups[best_a].insert(groups[best_a].end(), groups[best_b].begin(),
-                          groups[best_b].end());
-    current.erase(current.begin() + static_cast<std::ptrdiff_t>(best_b));
-    groups.erase(groups.begin() + static_cast<std::ptrdiff_t>(best_b));
-  }
+  for (std::size_t i = 0; i < input.size(); ++i) current.push_back(input[i]);
 
   ReductionResult out;
-  out.groups = std::move(groups);
-  for (const auto& c : current) out.mixture.add(c);
+  out.groups = common::agglomerate_to_k(
+      input.size(), k,
+      [&](std::size_t a, std::size_t b) {
+        return cost(current[a], current[b]);
+      },
+      [&](std::size_t a, std::size_t b) {
+        current[a] = {current[a].weight + current[b].weight,
+                      stats::moment_match({current[a], current[b]})};
+      });
+  // Each surviving group's first entry is the slot its merges folded into.
+  for (const auto& g : out.groups) out.mixture.add(current[g.front()]);
   out.objective = std::numeric_limits<double>::quiet_NaN();
   return out;
 }

@@ -1,0 +1,69 @@
+// In-place weighted-moment accumulation.
+//
+// Moment matching (the GM instantiation's mergeSet and the EM M step) is
+// a two-pass reduction: mean = Σ sᵢ µᵢ, then Σ = Σ sᵢ (Σᵢ + δᵢδᵢᵀ) with
+// δᵢ = µᵢ − mean. Written with the vector/matrix operators each part costs
+// three heap-allocated temporaries (scaled copy, outer product, sum);
+// these kernels sit on the classifier's merge hot path, so this header
+// provides the same arithmetic as in-place updates. Every routine
+// performs BIT-IDENTICAL floating-point operations (same values, same
+// order) to its operator-based equivalent — that is load-bearing: the
+// protocol's determinism goldens hash every mantissa bit.
+#pragma once
+
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+
+namespace ddc::linalg {
+
+/// `acc += scale * v`, elementwise — `acc += scale * v` without the
+/// temporary scaled copy. Requires matching dimensions.
+void add_scaled(Vector& acc, double scale, const Vector& v);
+
+/// `acc += scale * (m + delta deltaᵀ)`, elementwise — the covariance leg
+/// of a moment match (`acc += scale * (m + outer(delta, delta))`) without
+/// the outer-product, sum, and scaled temporaries. Requires `m` square of
+/// order `delta.dim()` and `acc` of the same shape.
+void add_scaled_spread(Matrix& acc, double scale, const Matrix& m,
+                       const Vector& delta);
+
+/// Accumulates the weighted mean and population covariance of a sequence
+/// of parts (scalars optionally pre-normalized by the caller) entirely
+/// in place. Usage mirrors the two passes of a moment match:
+///
+///   WeightedMomentAccumulator acc(d);
+///   for (part : parts) acc.accumulate_mean(w / total, part.mean);
+///   for (part : parts) acc.accumulate_spread(w / total, part.cov, part.mean);
+///   Gaussian(acc.take_mean(), symmetrize(acc.take_cov()));
+///
+/// `accumulate_spread` computes δ = part_mean − mean() itself so callers
+/// cannot accidentally use a stale mean.
+class WeightedMomentAccumulator {
+ public:
+  explicit WeightedMomentAccumulator(std::size_t dim)
+      : mean_(dim), cov_(dim, dim), delta_(dim) {}
+
+  /// First pass: `mean += scale * part_mean`.
+  void accumulate_mean(double scale, const Vector& part_mean) {
+    add_scaled(mean_, scale, part_mean);
+  }
+
+  /// Second pass: `cov += scale * (part_cov + δδᵀ)`, δ = part_mean − mean.
+  void accumulate_spread(double scale, const Matrix& part_cov,
+                         const Vector& part_mean);
+
+  /// Second pass for point parts (no covariance term): `cov += scale·δδᵀ`.
+  void accumulate_spread(double scale, const Vector& part_mean);
+
+  [[nodiscard]] const Vector& mean() const noexcept { return mean_; }
+  [[nodiscard]] const Matrix& cov() const noexcept { return cov_; }
+  [[nodiscard]] Vector take_mean() noexcept { return std::move(mean_); }
+  [[nodiscard]] Matrix take_cov() noexcept { return std::move(cov_); }
+
+ private:
+  Vector mean_;
+  Matrix cov_;
+  Vector delta_;  // scratch, reused across accumulate_spread calls
+};
+
+}  // namespace ddc::linalg

@@ -117,6 +117,25 @@ double trace(const Matrix& m) {
   return acc;
 }
 
+double trace_product(const Matrix& a, const Matrix& b) {
+  DDC_EXPECTS(a.cols() == b.rows());
+  DDC_EXPECTS(a.rows() == b.cols());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    // Mirrors operator*'s accumulation of out(i, i): ascending k with the
+    // same zero-coefficient skip, so the result matches trace(a * b) bit
+    // for bit (the determinism goldens depend on that).
+    double acc = 0.0;
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      acc += aik * b(k, i);
+    }
+    total += acc;
+  }
+  return total;
+}
+
 double max_abs(const Matrix& m) noexcept {
   double acc = 0.0;
   for (double e : m.data()) acc = std::max(acc, std::abs(e));

@@ -1,0 +1,44 @@
+#include <ddc/linalg/moments.hpp>
+
+namespace ddc::linalg {
+
+void add_scaled(Vector& acc, double scale, const Vector& v) {
+  DDC_EXPECTS(acc.dim() == v.dim());
+  for (std::size_t i = 0; i < acc.dim(); ++i) acc[i] += scale * v[i];
+}
+
+void add_scaled_spread(Matrix& acc, double scale, const Matrix& m,
+                       const Vector& delta) {
+  const std::size_t d = delta.dim();
+  DDC_EXPECTS(m.rows() == d && m.cols() == d);
+  DDC_EXPECTS(acc.rows() == d && acc.cols() == d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      acc(r, c) += scale * (m(r, c) + delta[r] * delta[c]);
+    }
+  }
+}
+
+void WeightedMomentAccumulator::accumulate_spread(double scale,
+                                                  const Matrix& part_cov,
+                                                  const Vector& part_mean) {
+  DDC_EXPECTS(part_mean.dim() == delta_.dim());
+  for (std::size_t i = 0; i < delta_.dim(); ++i) {
+    delta_[i] = part_mean[i] - mean_[i];
+  }
+  add_scaled_spread(cov_, scale, part_cov, delta_);
+}
+
+void WeightedMomentAccumulator::accumulate_spread(double scale,
+                                                  const Vector& part_mean) {
+  DDC_EXPECTS(part_mean.dim() == delta_.dim());
+  const std::size_t d = delta_.dim();
+  for (std::size_t i = 0; i < d; ++i) delta_[i] = part_mean[i] - mean_[i];
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      cov_(r, c) += scale * (delta_[r] * delta_[c]);
+    }
+  }
+}
+
+}  // namespace ddc::linalg

@@ -35,9 +35,14 @@ class EmPartition {
     return options_;
   }
 
+  /// Wall-clock spent inside reduce_em, accumulated across partitions
+  /// (two clock reads per call). Feeds `ddcsim --timing`.
+  [[nodiscard]] double em_seconds() const noexcept { return em_seconds_; }
+
  private:
   stats::Rng rng_;
   em::ReductionOptions options_;
+  double em_seconds_ = 0.0;
 };
 
 /// PartitionPolicy: greedy Runnalls KL-bound pairwise merging.

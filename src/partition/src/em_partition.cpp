@@ -1,5 +1,7 @@
 #include <ddc/partition/em_partition.hpp>
 
+#include <chrono>
+
 #include <ddc/common/assert.hpp>
 #include <ddc/stats/mixture.hpp>
 
@@ -23,7 +25,13 @@ stats::GaussianMixture to_input_mixture(
 core::Grouping EmPartition::partition(
     const std::vector<core::WeightedSummary<stats::Gaussian>>& collections,
     std::size_t k) {
-  return em::reduce_em(to_input_mixture(collections), k, rng_, options_).groups;
+  const auto start = std::chrono::steady_clock::now();
+  core::Grouping groups =
+      em::reduce_em(to_input_mixture(collections), k, rng_, options_).groups;
+  em_seconds_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return groups;
 }
 
 core::Grouping RunnallsPartition::partition(

@@ -22,6 +22,7 @@
 // phases. See DESIGN.md ("Parallel simulation engine") for the argument.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -72,6 +73,14 @@ struct RoundRunnerOptions : CommonRunnerOptions {
   std::size_t parallelism = 1;
 };
 
+/// Accumulated wall-clock of the two parallel phases, measured once per
+/// round around the whole phase (two clock reads each — negligible next
+/// to the phase bodies). Feeds `ddcsim --timing`.
+struct RoundPhaseTimings {
+  double prepare_seconds = 0.0;
+  double absorb_seconds = 0.0;
+};
+
 /// Drives one node object per topology vertex through synchronous gossip
 /// rounds. The runner owns the nodes; experiments inspect them between
 /// rounds through `nodes()`.
@@ -115,9 +124,18 @@ class RoundRunner {
   /// received in a single batch; finally crash draws are applied.
   void run_round() {
     plan_targets();
+    const auto t_prepare = std::chrono::steady_clock::now();
     prepare_messages();
+    const auto t_deliver = std::chrono::steady_clock::now();
+    timings_.prepare_seconds +=
+        std::chrono::duration<double>(t_deliver - t_prepare).count();
     deliver_messages();
+    const auto t_absorb = std::chrono::steady_clock::now();
     absorb_inboxes();
+    timings_.absorb_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_absorb)
+            .count();
     apply_crashes();
     ++round_;
   }
@@ -128,6 +146,9 @@ class RoundRunner {
   }
 
   [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] const RoundPhaseTimings& timings() const noexcept {
+    return timings_;
+  }
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
   [[nodiscard]] std::vector<Node>& nodes() noexcept { return nodes_; }
@@ -315,6 +336,7 @@ class RoundRunner {
   std::vector<std::vector<Message>> inbox_;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::size_t round_ = 0;
+  RoundPhaseTimings timings_;
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -83,6 +83,27 @@ class Gaussian {
 /// Gaussians (Section 5.2).
 [[nodiscard]] double expected_log_pdf(const Gaussian& a, const Gaussian& b);
 
+/// Precomputed invariants of `expected_log_pdf(·, model)`: the Cholesky
+/// factor, inverse, and log-determinant of the model covariance depend
+/// only on the model, so the EM E step — which scores every input
+/// component against every model component — factorizes each model once
+/// per iteration through this scorer instead of once per (input, model)
+/// pair. `score(a)` is bit-identical to `expected_log_pdf(a, model)`
+/// (the free function is implemented through this class).
+class ExpectedLogPdfScorer {
+ public:
+  explicit ExpectedLogPdfScorer(const Gaussian& model);
+
+  /// E_{x~a}[log model(x)]. Requires `a.dim() == model.dim()`.
+  [[nodiscard]] double score(const Gaussian& a) const;
+
+ private:
+  linalg::Vector mean_;
+  linalg::Cholesky factor_;
+  linalg::Matrix inverse_;
+  double base_;  // d·log 2π + log|Σ_model|, the input-independent terms
+};
+
 /// Moment-matched merge of weighted Gaussians: the single Gaussian with the
 /// mean and covariance of the mixture Σᵢ wᵢ N(µᵢ, Σᵢ). This is exactly the
 /// paper's GM `mergeSet`. Requires at least one component and positive

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include <ddc/common/error.hpp>
+#include <ddc/linalg/moments.hpp>
 
 namespace ddc::stats {
 
@@ -87,15 +88,35 @@ double bhattacharyya(const Gaussian& a, const Gaussian& b) {
 }
 
 double expected_log_pdf(const Gaussian& a, const Gaussian& b) {
+  // One-shot form of ExpectedLogPdfScorer(b).score(a) — same values
+  // combined in the same order (scorer_test checks the equivalence
+  // exactly), without paying the scorer's member copies. Callers scoring
+  // many inputs against one model should hold a scorer instead.
   DDC_EXPECTS(a.dim() == b.dim());
-  // E_{x~N(µa,Σa)}[log N(x; µb, Σb)]
-  //   = −½ (d log 2π + log|Σb| + tr(Σb⁻¹ Σa) + (µa−µb)ᵀ Σb⁻¹ (µa−µb)).
   const double d = static_cast<double>(a.dim());
   const Cholesky fb = linalg::regularized_cholesky(b.cov());
-  const double tr = linalg::trace(fb.inverse() * a.cov());
+  const double tr = linalg::trace_product(fb.inverse(), a.cov());
   const double maha = fb.mahalanobis_squared(a.mean() - b.mean());
   return -0.5 *
          (d * std::log(2.0 * std::numbers::pi) + fb.log_det() + tr + maha);
+}
+
+ExpectedLogPdfScorer::ExpectedLogPdfScorer(const Gaussian& model)
+    : mean_(model.mean()),
+      factor_(linalg::regularized_cholesky(model.cov())),
+      inverse_(factor_.inverse()),
+      base_(static_cast<double>(model.dim()) *
+                std::log(2.0 * std::numbers::pi) +
+            factor_.log_det()) {}
+
+double ExpectedLogPdfScorer::score(const Gaussian& a) const {
+  DDC_EXPECTS(a.dim() == mean_.dim());
+  // E_{x~N(µa,Σa)}[log N(x; µb, Σb)]
+  //   = −½ (d log 2π + log|Σb| + tr(Σb⁻¹ Σa) + (µa−µb)ᵀ Σb⁻¹ (µa−µb)).
+  // base_ carries the first two (input-independent) terms.
+  const double tr = linalg::trace_product(inverse_, a.cov());
+  const double maha = factor_.mahalanobis_squared(a.mean() - mean_);
+  return -0.5 * (base_ + tr + maha);
 }
 
 Gaussian moment_match(const std::vector<WeightedGaussian>& parts) {
@@ -109,16 +130,17 @@ Gaussian moment_match(const std::vector<WeightedGaussian>& parts) {
   }
   DDC_EXPECTS(total > 0.0);
 
-  Vector mean(d);
-  for (const auto& p : parts) mean += (p.weight / total) * p.gaussian.mean();
-
-  // Law of total covariance: Σ = Σᵢ wᵢ (Σᵢ + (µᵢ−µ)(µᵢ−µ)ᵀ) / W.
-  Matrix cov(d, d);
+  // Law of total covariance: Σ = Σᵢ wᵢ (Σᵢ + (µᵢ−µ)(µᵢ−µ)ᵀ) / W, built
+  // in place (no per-part temporaries; same arithmetic bit for bit).
+  linalg::WeightedMomentAccumulator acc(d);
   for (const auto& p : parts) {
-    const Vector delta = p.gaussian.mean() - mean;
-    cov += (p.weight / total) * (p.gaussian.cov() + linalg::outer(delta, delta));
+    acc.accumulate_mean(p.weight / total, p.gaussian.mean());
   }
-  return Gaussian(std::move(mean), linalg::symmetrize(cov));
+  for (const auto& p : parts) {
+    acc.accumulate_spread(p.weight / total, p.gaussian.cov(),
+                          p.gaussian.mean());
+  }
+  return Gaussian(acc.take_mean(), linalg::symmetrize(acc.take_cov()));
 }
 
 }  // namespace ddc::stats

@@ -1,6 +1,7 @@
 #include <ddc/summaries/centroid.hpp>
 
 #include <ddc/common/assert.hpp>
+#include <ddc/linalg/moments.hpp>
 
 namespace ddc::summaries {
 
@@ -15,7 +16,10 @@ CentroidPolicy::Summary CentroidPolicy::merge_set(
     total += p.weight;
   }
   Vector acc(parts.front().summary.dim());
-  for (const auto& p : parts) acc += (p.weight / total) * p.summary;
+  // In-place `acc += scale * summary` — no scaled temporary per part.
+  for (const auto& p : parts) {
+    linalg::add_scaled(acc, p.weight / total, p.summary);
+  }
   return acc;
 }
 
@@ -28,7 +32,7 @@ CentroidPolicy::Summary CentroidPolicy::summarize_mixture(
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     DDC_EXPECTS(aux[i] >= 0.0);
     total += aux[i];
-    acc += aux[i] * inputs[i];
+    linalg::add_scaled(acc, aux[i], inputs[i]);
   }
   DDC_EXPECTS(total > 0.0);
   return acc / total;

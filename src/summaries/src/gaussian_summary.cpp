@@ -1,6 +1,7 @@
 #include <ddc/summaries/gaussian_summary.hpp>
 
 #include <ddc/common/assert.hpp>
+#include <ddc/linalg/moments.hpp>
 
 namespace ddc::summaries {
 
@@ -11,13 +12,26 @@ using stats::Gaussian;
 GaussianPolicy::Summary GaussianPolicy::merge_set(
     const std::vector<core::WeightedSummary<Summary>>& parts) {
   DDC_EXPECTS(!parts.empty());
-  std::vector<stats::WeightedGaussian> weighted;
-  weighted.reserve(parts.size());
+  // Same accumulation as stats::moment_match (same values, same order —
+  // the determinism goldens require it), but straight off the parts: the
+  // old path copied every mean and covariance into a WeightedGaussian
+  // vector first, an allocation per part on the merge hot path.
+  const std::size_t d = parts.front().summary.dim();
+  double total = 0.0;
   for (const auto& p : parts) {
     DDC_EXPECTS(p.weight > 0.0);
-    weighted.push_back({p.weight, p.summary});
+    DDC_EXPECTS(p.summary.dim() == d);
+    total += p.weight;
   }
-  return stats::moment_match(weighted);
+  DDC_EXPECTS(total > 0.0);
+  linalg::WeightedMomentAccumulator acc(d);
+  for (const auto& p : parts) {
+    acc.accumulate_mean(p.weight / total, p.summary.mean());
+  }
+  for (const auto& p : parts) {
+    acc.accumulate_spread(p.weight / total, p.summary.cov(), p.summary.mean());
+  }
+  return Gaussian(acc.take_mean(), linalg::symmetrize(acc.take_cov()));
 }
 
 GaussianPolicy::Summary GaussianPolicy::summarize_mixture(
@@ -29,17 +43,17 @@ GaussianPolicy::Summary GaussianPolicy::summarize_mixture(
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     DDC_EXPECTS(aux[i] >= 0.0);
     total += aux[i];
-    mean += aux[i] * inputs[i];
+    linalg::add_scaled(mean, aux[i], inputs[i]);
   }
   DDC_EXPECTS(total > 0.0);
   mean /= total;
-  Matrix cov(mean.dim(), mean.dim());
+  linalg::WeightedMomentAccumulator acc(mean.dim());
+  acc.accumulate_mean(1.0, mean);
   for (std::size_t i = 0; i < inputs.size(); ++i) {
     if (aux[i] == 0.0) continue;
-    const Vector d = inputs[i] - mean;
-    cov += (aux[i] / total) * linalg::outer(d, d);
+    acc.accumulate_spread(aux[i] / total, inputs[i]);
   }
-  return Gaussian(std::move(mean), linalg::symmetrize(cov));
+  return Gaussian(std::move(mean), linalg::symmetrize(acc.take_cov()));
 }
 
 bool GaussianPolicy::approx_equal(const Summary& a, const Summary& b,

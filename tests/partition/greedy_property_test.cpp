@@ -1,0 +1,144 @@
+// Property test: GreedyDistancePartition (cached distance matrix +
+// nearest-neighbor tracking) must produce groupings EXACTLY equal — same
+// groups, same order, same member order — to NaiveGreedyDistancePartition
+// (the direct Algorithm 2 transcription) on randomized inputs. Bit-level
+// equality of the downstream protocol hinges on this (the goldens in
+// tests/sim/hotpath_golden_test.cpp hash every mantissa bit), so the
+// comparison here is exact, not approximate, and the generators
+// deliberately include exact distance ties via integer-lattice
+// coordinates and duplicated points.
+#include <ddc/partition/greedy.hpp>
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/core/policy.hpp>
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/gaussian.hpp>
+#include <ddc/stats/rng.hpp>
+#include <ddc/summaries/centroid.hpp>
+#include <ddc/summaries/gaussian_summary.hpp>
+
+namespace ddc::partition {
+namespace {
+
+using core::Grouping;
+using core::WeightedSummary;
+using linalg::Matrix;
+using linalg::Vector;
+using stats::Gaussian;
+using summaries::CentroidPolicy;
+using summaries::GaussianPolicy;
+
+static_assert(core::PartitionPolicy<NaiveGreedyDistancePartition<CentroidPolicy>,
+                                    Vector>);
+static_assert(core::PartitionPolicy<NaiveGreedyDistancePartition<GaussianPolicy>,
+                                    Gaussian>);
+
+/// Random point on a small integer lattice — coarse enough that equal
+/// coordinates (and therefore exactly tied distances) occur routinely.
+Vector lattice_point(std::size_t dim, int span, stats::Rng& rng) {
+  Vector v(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    v[i] = static_cast<double>(
+        static_cast<int>(rng.uniform_index(static_cast<std::size_t>(2 * span))) -
+        span);
+  }
+  return v;
+}
+
+std::vector<WeightedSummary<Vector>> random_centroids(std::size_t m,
+                                                      std::size_t dim,
+                                                      stats::Rng& rng) {
+  std::vector<WeightedSummary<Vector>> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    // Occasionally duplicate an earlier summary outright: the strongest
+    // possible tie (distance exactly 0 to its twin).
+    if (!out.empty() && rng.bernoulli(0.2)) {
+      out.push_back({out[rng.uniform_index(out.size())].summary,
+                     static_cast<double>(1 + rng.uniform_index(4))});
+      continue;
+    }
+    out.push_back({lattice_point(dim, 3, rng),
+                   static_cast<double>(1 + rng.uniform_index(4))});
+  }
+  return out;
+}
+
+std::vector<WeightedSummary<Gaussian>> random_gaussians(std::size_t m,
+                                                        std::size_t dim,
+                                                        stats::Rng& rng) {
+  std::vector<WeightedSummary<Gaussian>> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!out.empty() && rng.bernoulli(0.2)) {
+      out.push_back({out[rng.uniform_index(out.size())].summary,
+                     static_cast<double>(1 + rng.uniform_index(4))});
+      continue;
+    }
+    // Integer-lattice means and diagonal integer covariances: exact ties
+    // under the Gaussian policy's distance too. Point masses (zero
+    // variance) are legal summaries and are included.
+    Vector diag(dim);
+    for (std::size_t c = 0; c < dim; ++c) {
+      diag[c] = static_cast<double>(rng.uniform_index(3));
+    }
+    out.push_back({Gaussian(lattice_point(dim, 3, rng),
+                            Matrix::diagonal(diag)),
+                   static_cast<double>(1 + rng.uniform_index(4))});
+  }
+  return out;
+}
+
+template <typename SP, typename MakeInputs>
+void run_property(std::uint64_t seed, std::size_t cases, MakeInputs make) {
+  stats::Rng rng(seed);
+  const GreedyDistancePartition<SP> optimized;
+  const NaiveGreedyDistancePartition<SP> naive;
+  for (std::size_t t = 0; t < cases; ++t) {
+    const std::size_t m = 2 + rng.uniform_index(23);       // 2..24 inputs
+    const std::size_t dim = 1 + rng.uniform_index(3);      // 1..3 dims
+    const std::size_t k = 1 + rng.uniform_index(m);        // 1..m groups
+    const auto inputs = make(m, dim, rng);
+    const Grouping fast = optimized.partition(inputs, k);
+    const Grouping slow = naive.partition(inputs, k);
+    ASSERT_EQ(fast, slow) << "case " << t << ": m=" << m << " dim=" << dim
+                          << " k=" << k;
+    ASSERT_TRUE(core::is_valid_grouping(fast, m));
+  }
+}
+
+TEST(GreedyPartitionProperty, MatchesNaiveOnRandomCentroids) {
+  run_property<CentroidPolicy>(
+      0xC3A7u, 120, [](std::size_t m, std::size_t dim, stats::Rng& rng) {
+        return random_centroids(m, dim, rng);
+      });
+}
+
+TEST(GreedyPartitionProperty, MatchesNaiveOnRandomGaussians) {
+  run_property<GaussianPolicy>(
+      0x6A55u, 120, [](std::size_t m, std::size_t dim, stats::Rng& rng) {
+        return random_gaussians(m, dim, rng);
+      });
+}
+
+// Deliberate all-tie stress: every pairwise distance is identical, so
+// every merge decision is decided purely by the tie-break rule.
+TEST(GreedyPartitionProperty, MatchesNaiveWhenAllDistancesTie) {
+  const GreedyDistancePartition<CentroidPolicy> optimized;
+  const NaiveGreedyDistancePartition<CentroidPolicy> naive;
+  for (std::size_t m = 2; m <= 12; ++m) {
+    std::vector<WeightedSummary<Vector>> inputs(m, {Vector{1.0, -2.0}, 2.0});
+    for (std::size_t k = 1; k <= m; ++k) {
+      ASSERT_EQ(optimized.partition(inputs, k), naive.partition(inputs, k))
+          << "m=" << m << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddc::partition

@@ -47,6 +47,7 @@ struct Config {
   bool round_robin;
   bool csv;
   bool summary_line;
+  bool timing;
   std::string trace_path;
 };
 
@@ -171,6 +172,27 @@ int run_classifier(const Config& config, ddc::sim::RoundRunner<Node> runner,
     // against a ddcnode cluster's RESULT lines (scripts/run_cluster.sh).
     std::cout << ddc::tools::result_line(c, mean_of) << '\n';
   }
+  if (config.timing) {
+    // Per-phase wall-clock, from the accumulating counters in the runner
+    // (prepare/absorb), the classifier engine (partition) and the EM
+    // policy (em; 0 for policies without an EM stage). partition_s and
+    // em_s are sums over nodes, so with --threads > 1 they can exceed
+    // the enclosing absorb_s wall-clock.
+    double partition_s = 0.0;
+    double em_s = 0.0;
+    for (const auto& node : runner.nodes()) {
+      partition_s += node.classifier().stats().partition_seconds;
+      if constexpr (requires {
+                      node.classifier().partition_policy().em_seconds();
+                    }) {
+        em_s += node.classifier().partition_policy().em_seconds();
+      }
+    }
+    const auto& t = runner.timings();
+    std::cout << "\nTIMING prepare_s=" << t.prepare_seconds
+              << " absorb_s=" << t.absorb_seconds
+              << " partition_s=" << partition_s << " em_s=" << em_s << '\n';
+  }
   flush_trace(config, trace);
   return 0;
 }
@@ -257,6 +279,9 @@ int main(int argc, char** argv) {
   flags.declare_bool("summary-line",
                      "also print node 0's final classification as a "
                      "machine-readable RESULT line (gm/centroid)");
+  flags.declare_bool("timing",
+                     "print accumulated per-phase wall-clock (prepare / "
+                     "absorb / partition / em) after the run (gm/centroid)");
 
   try {
     if (!flags.parse(argc, argv)) {
@@ -282,6 +307,7 @@ int main(int argc, char** argv) {
         flags.get_bool("round-robin"),
         flags.get_bool("csv"),
         flags.get_bool("summary-line"),
+        flags.get_bool("timing"),
         flags.get("trace"),
     };
     if (flags.get_int("threads") < 0) {
