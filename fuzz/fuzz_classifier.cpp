@@ -1,0 +1,138 @@
+// Invariant-driven fuzz harness for the classification engine.
+//
+// The input bytes are interpreted as a little program: a network shape
+// (node count, dimension, k, weight resolution) followed by a stream of
+// ops (split to a mailbox / deliver a mailbox message / exchange) over
+// a set of centroid classifiers with auxiliary tracking enabled. After
+// EVERY op the harness collects the Section 6 pool — all collections at
+// nodes plus all in-flight messages — and runs the executable proof
+// machinery from ddc::audit:
+//
+//   * exact conservation of weight quanta (the substrate of the proof),
+//   * Lemma 1: summary = f(aux) and ‖aux‖₁ = weight per collection,
+//   * Lemma 2: maximal reference angles never increase.
+//
+// Any input that breaks an invariant — or trips a sanitizer, or throws
+// ContractViolation out of the engine — aborts with the auditor's
+// message. The quanta resolution is deliberately drawn down to 2⁴ so
+// the fuzzer hammers the one-quantum re-homing rule (constraint (2) of
+// Section 4.1), the engine's trickiest repair path.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+#include <ddc/audit/auditors.hpp>
+#include <ddc/core/classifier.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/partition/greedy.hpp>
+#include <ddc/summaries/centroid.hpp>
+
+#include "fuzz_input.hpp"
+
+namespace {
+
+using Policy = ddc::summaries::CentroidPolicy;
+using Partition = ddc::partition::GreedyDistancePartition<Policy>;
+using Classifier = ddc::core::GenericClassifier<Policy, Partition>;
+using Message = Classifier::Message;
+using Summary = Policy::Summary;
+
+// Tolerances: Lemma 1 re-derives every summary from scratch, so the
+// comparison absorbs the engine's incremental float drift; Lemma 2's
+// slack covers acos() jitter in the angle computation.
+constexpr double kLemma1Tol = 1e-6;
+constexpr double kAngleSlack = 1e-7;
+constexpr std::size_t kMaxOps = 48;
+
+struct System {
+  std::vector<ddc::linalg::Vector> inputs;
+  std::vector<Classifier> nodes;
+  std::vector<Message> in_flight;
+  std::int64_t expected_quanta = 0;
+};
+
+[[nodiscard]] ddc::audit::Pool<Summary> pool_of(const System& sys) {
+  return ddc::audit::collect_pool<Summary>(sys.nodes, sys.in_flight);
+}
+
+void audit_or_die(const System& sys,
+                  ddc::audit::ReferenceAngleMonitor& monitor) {
+  const auto pool = pool_of(sys);
+  ddc::audit::check_conservation(pool, sys.expected_quanta);
+  ddc::audit::check_lemma1<Policy>(pool, sys.inputs,
+                                   sys.nodes.front().options().quanta_per_unit,
+                                   kLemma1Tol);
+  monitor.observe(pool);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ddc_fuzz::FuzzInput in(data, size);
+
+  const std::size_t n = 2 + in.index(6);       // 2..7 nodes
+  const std::size_t dim = 1 + in.index(3);     // 1..3 dimensions
+  ddc::core::ClassifierOptions options;
+  options.k = 1 + in.index(3);                 // 1..3 collections per node
+  // Coarse quanta (2⁴..2¹⁰ per unit) make one-quantum collections — and
+  // therefore the singleton re-homing rule — common instead of rare.
+  options.quanta_per_unit = std::int64_t{1} << (4 + in.index(7));
+  options.track_aux = true;
+  options.num_nodes = n;
+
+  System sys;
+  sys.expected_quanta =
+      static_cast<std::int64_t>(n) * options.quanta_per_unit;
+  sys.nodes.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ddc::linalg::Vector value(dim);
+    for (std::size_t d = 0; d < dim; ++d) value[d] = in.small_value();
+    sys.inputs.push_back(value);
+    options.node_index = i;
+    sys.nodes.emplace_back(value, Partition{}, options);
+  }
+
+  ddc::audit::ReferenceAngleMonitor monitor(n, kAngleSlack);
+  try {
+    audit_or_die(sys, monitor);
+    for (std::size_t op = 0; op < kMaxOps && !in.exhausted(); ++op) {
+      switch (in.index(3)) {
+        case 0: {  // split: a node mails out half of every collection
+          Message msg = sys.nodes[in.index(n)].split();
+          if (!msg.empty()) sys.in_flight.push_back(std::move(msg));
+          break;
+        }
+        case 1: {  // deliver: any in-flight message, to any node
+          if (sys.in_flight.empty()) break;
+          const std::size_t at = in.index(sys.in_flight.size());
+          Message msg = std::move(sys.in_flight[at]);
+          sys.in_flight.erase(sys.in_flight.begin() +
+                              static_cast<std::ptrdiff_t>(at));
+          sys.nodes[in.index(n)].receive(std::move(msg));
+          break;
+        }
+        default: {  // exchange: split a, deliver straight to b
+          const std::size_t a = in.index(n);
+          const std::size_t b = in.index(n);
+          Message msg = sys.nodes[a].split();
+          sys.nodes[b].receive(std::move(msg));
+          break;
+        }
+      }
+      audit_or_die(sys, monitor);
+    }
+  } catch (const ddc::audit::AuditFailure& failure) {
+    std::fprintf(stderr, "fuzz_classifier: invariant broken: %s\n",
+                 failure.what());
+    std::abort();
+  } catch (const std::exception& error) {
+    // ContractViolation and anything else escaping the engine is a bug:
+    // the harness only ever performs legal protocol operations.
+    std::fprintf(stderr, "fuzz_classifier: engine threw: %s\n", error.what());
+    std::abort();
+  }
+  return 0;
+}

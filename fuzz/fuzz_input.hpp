@@ -1,0 +1,72 @@
+// Deterministic byte consumer for fuzz harnesses.
+//
+// A minimal FuzzedDataProvider: the harness reads structured decisions
+// (op codes, indices, small values) off the front of the fuzzer's byte
+// buffer. Every decision is a pure function of the consumed bytes, so a
+// crashing input replays exactly and minimizes well. When the buffer
+// runs dry every accessor returns zeros — harnesses use `exhausted()`
+// to stop cleanly instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ddc_fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return size_ - pos_;
+  }
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    if (pos_ >= size_) return 0;
+    return data_[pos_++];
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{u8()} << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t u64() noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{u8()} << (8 * i);
+    return v;
+  }
+
+  /// Uniform-ish index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept {
+    return std::size_t{u8()} % n;
+  }
+
+  /// Small bounded double in [-16, 16) with 1/8 resolution — tame
+  /// values keep the numerics (Cholesky, angles) well-conditioned so
+  /// the fuzzer explores protocol state space, not float overflow.
+  [[nodiscard]] double small_value() noexcept {
+    return (static_cast<double>(u8()) - 128.0) / 8.0;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// SplitMix64 — the harnesses' own deterministic stream for mutators
+/// (kept independent of ddc::stats so harness randomness never couples
+/// to library randomness).
+inline std::uint64_t splitmix(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace ddc_fuzz

@@ -1,0 +1,166 @@
+// Seed-corpus generator — the reproducible source of fuzz/corpus/.
+//
+// Usage: ddc_make_corpus <corpus-root>
+//
+// Writes two seed sets:
+//   <root>/framing/     valid envelopes mirroring the wire_tests
+//                       vectors (every FrameKind, empty and non-empty
+//                       payloads, boundary sender/seq values) plus the
+//                       classic malformed shapes (truncations, bad
+//                       magic, wrong version, probe-with-payload) so
+//                       the fuzzer starts on both sides of every
+//                       decoder branch;
+//   <root>/classifier/  op-scripts for fuzz_classifier: hand-chosen
+//                       headers (node count / dim / k / quanta
+//                       resolution) followed by deterministic op
+//                       streams, including all-splits pile-ups and
+//                       coarse-quanta shapes that exercise the
+//                       one-quantum re-homing rule.
+//
+// File names encode intent; regeneration is byte-stable (no clocks, no
+// RNG seeds outside the file contents), so `git diff` after a rerun
+// shows exactly how the seed set changed. See fuzz/README.md.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <ddc/wire/framing.hpp>
+
+namespace {
+
+void write_file(const std::filesystem::path& path,
+                std::span<const std::byte> bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
+  if (!os) {
+    std::fprintf(stderr, "make_corpus: cannot write %s\n",
+                 path.string().c_str());
+    std::exit(2);
+  }
+}
+
+void write_file(const std::filesystem::path& path,
+                const std::vector<std::uint8_t>& bytes) {
+  write_file(path, std::span<const std::byte>(
+                       reinterpret_cast<const std::byte*>(bytes.data()),
+                       bytes.size()));
+}
+
+std::vector<std::byte> bytes_of(std::initializer_list<unsigned> values) {
+  std::vector<std::byte> out;
+  out.reserve(values.size());
+  for (const unsigned v : values) {
+    out.push_back(static_cast<std::byte>(v));
+  }
+  return out;
+}
+
+void make_framing(const std::filesystem::path& dir) {
+  using ddc::wire::FrameKind;
+  using ddc::wire::encode_frame;
+  std::filesystem::create_directories(dir);
+
+  const auto payload = bytes_of({0xde, 0xad, 0xbe, 0xef});
+  write_file(dir / "gossip_payload.bin",
+             encode_frame(FrameKind::gossip, 7, 42, payload));
+  write_file(dir / "gossip_empty.bin",
+             encode_frame(FrameKind::gossip, 0, 0));
+  write_file(dir / "probe.bin", encode_frame(FrameKind::probe, 3, 1));
+  write_file(dir / "probe_ack.bin",
+             encode_frame(FrameKind::probe_ack, 4, 2));
+  write_file(dir / "gossip_max_ids.bin",
+             encode_frame(FrameKind::gossip, 0xffffffffU,
+                          0xffffffffffffffffULL, payload));
+  const std::vector<std::byte> big(512, std::byte{0x5a});
+  write_file(dir / "gossip_big_payload.bin",
+             encode_frame(FrameKind::gossip, 9, 1000, big));
+
+  // Malformed shapes the decoder must reject — seeds for the
+  // rejection branches.
+  auto truncated = encode_frame(FrameKind::gossip, 7, 42, payload);
+  truncated.resize(9);  // mid-seq
+  write_file(dir / "truncated_mid_seq.bin", truncated);
+  write_file(dir / "empty.bin", std::vector<std::byte>{});
+  write_file(dir / "bad_magic.bin",
+             bytes_of({0x00, 0x11, 0x22, 0x33, 0x01, 0x00, 0x00, 0x00,
+                       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00}));
+  // Valid magic base "DDN" with an unsupported version byte (2).
+  write_file(dir / "wrong_version.bin",
+             bytes_of({0x44, 0x44, 0x4e, 0x02, 0x01, 0x00, 0x00, 0x00,
+                       0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00}));
+  auto probe_payload = encode_frame(FrameKind::probe, 3, 1);
+  probe_payload.push_back(std::byte{0x01});
+  write_file(dir / "probe_with_payload.bin", probe_payload);
+}
+
+void make_classifier(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+
+  // Script header (see fuzz_classifier.cpp): n-sel, dim-sel, k-sel,
+  // quanta-sel, then per-node dim values, then op stream.
+  // 4 nodes, 1-D, k=2, quanta 2^6; spread values; alternating ops.
+  {
+    std::vector<std::uint8_t> s = {2, 0, 1, 2};
+    for (const std::uint8_t v : {96, 112, 144, 160}) s.push_back(v);
+    for (int i = 0; i < 24; ++i) {
+      s.push_back(static_cast<std::uint8_t>(i % 3));  // op
+      s.push_back(static_cast<std::uint8_t>(i * 7));  // operand(s)
+      s.push_back(static_cast<std::uint8_t>(i * 13));
+    }
+    write_file(dir / "alternating_ops.bin", s);
+  }
+  // 2 nodes, coarse quanta 2^4 — one-quantum collections everywhere.
+  {
+    std::vector<std::uint8_t> s = {0, 0, 0, 0, 120, 136};
+    for (int i = 0; i < 40; ++i) {
+      s.push_back(2);  // exchange
+      s.push_back(static_cast<std::uint8_t>(i));
+      s.push_back(static_cast<std::uint8_t>(i + 1));
+    }
+    write_file(dir / "coarse_quanta_exchanges.bin", s);
+  }
+  // 7 nodes, 3-D, k=3: splits only — maximal in-flight pool.
+  {
+    std::vector<std::uint8_t> s = {5, 2, 2, 4};
+    for (int node = 0; node < 7; ++node) {
+      s.push_back(static_cast<std::uint8_t>(100 + 10 * node));
+      s.push_back(static_cast<std::uint8_t>(140 - 10 * node));
+      s.push_back(static_cast<std::uint8_t>(128 + 5 * node));
+    }
+    for (int i = 0; i < 30; ++i) {
+      s.push_back(0);  // split
+      s.push_back(static_cast<std::uint8_t>(i * 3));
+    }
+    write_file(dir / "split_pileup.bin", s);
+  }
+  // Identical inputs: distance ties on every partition call.
+  {
+    std::vector<std::uint8_t> s = {3, 0, 1, 3, 128, 128, 128, 128, 128};
+    for (int i = 0; i < 36; ++i) {
+      s.push_back(static_cast<std::uint8_t>((i * 5) % 251));
+    }
+    write_file(dir / "all_ties.bin", s);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root>\n", argv[0]);
+    return 2;
+  }
+  const std::filesystem::path root(argv[1]);
+  make_framing(root / "framing");
+  make_classifier(root / "classifier");
+  std::printf("make_corpus: wrote seed corpus under %s\n",
+              root.string().c_str());
+  return 0;
+}

@@ -1,0 +1,198 @@
+// Standalone replay-and-mutate driver for fuzz harnesses.
+//
+// The harnesses expose the standard libFuzzer entry points
+// (LLVMFuzzerTestOneInput, optionally LLVMFuzzerCustomMutator). When
+// the toolchain has libFuzzer (clang's -fsanitize=fuzzer) CMake links
+// the real engine and this file stays out of the build. On toolchains
+// without it (gcc — the container default) this driver supplies main():
+//
+//   fuzz_framing [-runs=N] [-seed=S] [-max_len=L] <corpus file|dir>...
+//
+// It replays every corpus input, then runs N mutational iterations:
+// each starts from a random corpus element (or empty), applies the
+// harness's structure-aware custom mutator when one is linked (found
+// via weak symbol, exactly how libFuzzer dispatches it) on half the
+// iterations, stacked generic byte mutations on the rest, and feeds the
+// result to LLVMFuzzerTestOneInput. Built with ASan+UBSan this gives
+// coverage-blind but sanitizer-armed fuzzing that is fully
+// deterministic in (corpus, seed, runs) — good enough for a CI smoke
+// gate, and flag-compatible with the real engine so scripts need not
+// care which one they invoke.
+//
+// Unknown -flags are warned about and ignored (libFuzzer has many).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz_input.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
+                                               std::size_t size,
+                                               std::size_t max_size,
+                                               unsigned int seed)
+    __attribute__((weak));
+
+namespace {
+
+using Input = std::vector<std::uint8_t>;
+
+std::vector<Input> load_corpus(const std::vector<std::string>& paths) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& p : paths) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(p, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else if (std::filesystem::is_regular_file(p, ec)) {
+      files.emplace_back(p);
+    } else {
+      std::fprintf(stderr, "fuzz driver: no such corpus path: %s\n",
+                   p.c_str());
+      std::exit(2);
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic replay order
+  std::vector<Input> corpus;
+  corpus.reserve(files.size());
+  for (const auto& file : files) {
+    std::ifstream is(file, std::ios::binary);
+    Input bytes((std::istreambuf_iterator<char>(is)),
+                std::istreambuf_iterator<char>());
+    corpus.push_back(std::move(bytes));
+  }
+  return corpus;
+}
+
+/// One stacked generic mutation: flip, overwrite, insert, erase,
+/// duplicate, or truncate. Mirrors libFuzzer's basic mutators.
+void mutate_generic(Input& buf, std::uint64_t& state, std::size_t max_len) {
+  switch (ddc_fuzz::splitmix(state) % 6) {
+    case 0:  // bit flip
+      if (!buf.empty()) {
+        buf[ddc_fuzz::splitmix(state) % buf.size()] ^=
+            static_cast<std::uint8_t>(1U << (ddc_fuzz::splitmix(state) % 8));
+      }
+      break;
+    case 1:  // overwrite byte
+      if (!buf.empty()) {
+        buf[ddc_fuzz::splitmix(state) % buf.size()] =
+            static_cast<std::uint8_t>(ddc_fuzz::splitmix(state));
+      }
+      break;
+    case 2:  // insert byte
+      if (buf.size() < max_len) {
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(
+                                     ddc_fuzz::splitmix(state) %
+                                     (buf.size() + 1)),
+                   static_cast<std::uint8_t>(ddc_fuzz::splitmix(state)));
+      }
+      break;
+    case 3:  // erase byte
+      if (!buf.empty()) {
+        buf.erase(buf.begin() + static_cast<std::ptrdiff_t>(
+                                    ddc_fuzz::splitmix(state) % buf.size()));
+      }
+      break;
+    case 4: {  // duplicate a tail chunk
+      if (buf.empty() || buf.size() >= max_len) break;
+      const std::size_t from = ddc_fuzz::splitmix(state) % buf.size();
+      const std::size_t len =
+          std::min(buf.size() - from, max_len - buf.size());
+      buf.insert(buf.end(), buf.begin() + static_cast<std::ptrdiff_t>(from),
+                 buf.begin() + static_cast<std::ptrdiff_t>(from + len));
+      break;
+    }
+    default:  // truncate
+      if (!buf.empty()) {
+        buf.resize(ddc_fuzz::splitmix(state) % buf.size());
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 1;
+  std::size_t max_len = 4096;
+  std::vector<std::string> corpus_paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto num = [&](std::string_view prefix) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    };
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = num("-runs=");
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = num("-seed=");
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(num("-max_len="));
+    } else if (arg == "-help=1" || arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [-runs=N] [-seed=S] [-max_len=L] <corpus file|dir>...\n"
+          "standalone driver (no libFuzzer in toolchain): replays the\n"
+          "corpus, then N deterministic mutational iterations.\n",
+          argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fuzz driver: ignoring unknown flag %s\n",
+                   argv[i]);
+    } else {
+      corpus_paths.emplace_back(arg);
+    }
+  }
+
+  const std::vector<Input> corpus = load_corpus(corpus_paths);
+  for (const Input& input : corpus) {
+    (void)LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::printf("fuzz driver: replayed %zu corpus input(s)\n", corpus.size());
+
+  std::uint64_t state = seed;
+  Input buf;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    if (!corpus.empty() && ddc_fuzz::splitmix(state) % 8 != 0) {
+      buf = corpus[ddc_fuzz::splitmix(state) % corpus.size()];
+    } else {
+      buf.clear();
+    }
+    if (LLVMFuzzerCustomMutator != nullptr &&
+        ddc_fuzz::splitmix(state) % 2 == 0) {
+      const std::size_t current = buf.size();
+      buf.resize(max_len);  // capacity for the mutator to grow into
+      const std::size_t n = LLVMFuzzerCustomMutator(
+          buf.data(), current, max_len,
+          static_cast<unsigned int>(ddc_fuzz::splitmix(state)));
+      buf.resize(std::min(n, max_len));
+    } else {
+      const std::uint64_t stack = 1 + ddc_fuzz::splitmix(state) % 4;
+      for (std::uint64_t m = 0; m < stack; ++m) {
+        mutate_generic(buf, state, max_len);
+      }
+    }
+    (void)LLVMFuzzerTestOneInput(buf.data(), buf.size());
+    if (runs >= 10 && (i + 1) % (runs / 10) == 0) {
+      std::printf("fuzz driver: %llu/%llu iterations\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(runs));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("fuzz driver: done — %llu mutational iteration(s), no "
+              "crashes, seed=%llu\n",
+              static_cast<unsigned long long>(runs),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,26 +1,68 @@
 #!/usr/bin/env bash
-# Sanitizer gates.
+# The repo's correctness gate: every machine-checkable guarantee, one
+# entry point. CI (.github/workflows/ci.yml) runs exactly this script;
+# run it locally before sending a PR.
 #
-# TSan: build the exec/sim/gossip test targets with ThreadSanitizer and
-# run the suites that exercise the parallel engine. TSan finds data
-# races only on code paths that actually run, so the determinism tests
-# (which drive the pool at several thread counts) are the payload here.
+# Gates, cheapest first:
 #
-# ASan+UBSan: build and run the wire, net and io suites — the byte-level
-# decoding and socket paths where out-of-bounds reads, overflows on
-# attacker-controlled lengths, and use-after-free of receive buffers
-# would live.
+#   1. format      clang-format --check against .clang-format
+#                  (skips, loudly, where clang-format is absent).
+#   2. ddclint     determinism lint: self-test (one planted violation
+#                  per rule must be caught), then the deterministic
+#                  modules must scan clean. scripts/lint_determinism.sh.
+#   3. clang-tidy  curated .clang-tidy over src/ tools/ bench/ fuzz/
+#                  (skips, loudly, where clang-tidy is absent; CI has
+#                  it and exports DDC_TIDY_STRICT=1).
+#   4. TSan        exec/sim/gossip suites under ThreadSanitizer — the
+#                  parallel engine's determinism tests drive the pool
+#                  at several thread counts, which is where races live.
+#   5. ASan+UBSan  the FULL ctest suite under AddressSanitizer +
+#                  UndefinedBehaviorSanitizer. Not just wire/net/io:
+#                  the partition/EM hot paths rewritten in PR 3 run
+#                  under ASan here too.
+#   6. bench gate  smoke-mode scripts/bench_gate.sh against
+#                  BENCH_hotpath.json, so a hot-path complexity
+#                  regression (say, an accidental return to the O(m³)
+#                  partition rescan) fails even when every unit test
+#                  still passes.
+#   7. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
+#                  invariants via the ddc::audit pool auditors) replay
+#                  the committed corpus plus DDC_FUZZ_RUNS fresh
+#                  deterministic iterations under ASan+UBSan.
 #
-# Bench gate: smoke-mode run of scripts/bench_gate.sh against the
-# committed BENCH_hotpath.json baseline, so a hot-path complexity
-# regression (say, an accidental return to the O(m³) partition rescan)
-# fails CI even when every unit test still passes.
+# Environment:
+#   DDC_FUZZ_RUNS   mutational iterations per fuzz harness (default
+#                   20000; the acceptance bar of 100k+ is a one-off,
+#                   see fuzz/README.md).
+#   DDC_SKIP_SLOW   set to 1 to stop after the static gates (1-3).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+DDC_FUZZ_RUNS=${DDC_FUZZ_RUNS:-20000}
+
+echo "=== gate 1/7: format check ==="
+scripts/format.sh --check
+
+echo
+echo "=== gate 2/7: determinism lint ==="
+scripts/lint_determinism.sh
+
+echo
+echo "=== gate 3/7: clang-tidy ==="
+scripts/tidy.sh
+
+if [[ "${DDC_SKIP_SLOW:-0}" == "1" ]]; then
+  echo
+  echo "DDC_SKIP_SLOW=1 — static gates done, skipping sanitizers/bench/fuzz."
+  exit 0
+fi
+
 TSAN_DIR=build-tsan
 ASAN_DIR=build-asan
+FUZZ_DIR=build-fuzz
 
+echo
+echo "=== gate 4/7: ThreadSanitizer (exec, sim, gossip) ==="
 cmake -B "$TSAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
@@ -31,29 +73,48 @@ cmake --build "$TSAN_DIR" --target exec_tests sim_tests gossip_tests -j "$(nproc
 "$TSAN_DIR"/tests/sim_tests
 "$TSAN_DIR"/tests/gossip_tests
 
-echo
 echo "TSan-clean: exec, sim and gossip test suites."
 
+echo
+echo "=== gate 5/7: ASan+UBSan, full test suite ==="
 cmake -B "$ASAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
-cmake --build "$ASAN_DIR" --target wire_tests net_tests io_tests -j "$(nproc)"
+cmake --build "$ASAN_DIR" -j "$(nproc)" --target \
+  linalg_tests stats_tests core_tests summaries_tests em_tests \
+  partition_tests exec_tests sim_tests gossip_tests wire_tests net_tests \
+  audit_tests metrics_tests workload_tests io_tests cli_tests \
+  integration_tests ddcsim
 
 # halt_on_error so UBSan findings fail the gate instead of scrolling by.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
-"$ASAN_DIR"/tests/wire_tests
-"$ASAN_DIR"/tests/net_tests
-"$ASAN_DIR"/tests/io_tests
+(cd "$ASAN_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+echo "ASan+UBSan-clean: full ctest suite."
 
 echo
-echo "ASan+UBSan-clean: wire, net and io test suites."
-
+echo "=== gate 6/7: bench regression gate ==="
 # The gate needs an optimized, unsanitized binary; the default build dir
 # is RelWithDebInfo. Smoke mode keeps the run short and its tolerance
 # loose enough for a loaded CI host while still catching order-of-
 # magnitude complexity regressions.
 scripts/bench_gate.sh --smoke
 
-echo
 echo "Bench gate passed: hot-path kernels within tolerance of BENCH_hotpath.json."
+
+echo
+echo "=== gate 7/7: fuzz smoke ==="
+cmake -B "$FUZZ_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDDC_FUZZ=ON \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "$FUZZ_DIR" --target fuzz_framing fuzz_classifier -j "$(nproc)"
+
+"$FUZZ_DIR"/fuzz/fuzz_framing    -runs="$DDC_FUZZ_RUNS" -seed=1 fuzz/corpus/framing
+"$FUZZ_DIR"/fuzz/fuzz_classifier -runs="$DDC_FUZZ_RUNS" -seed=1 fuzz/corpus/classifier
+
+echo "Fuzz smoke passed: corpus + ${DDC_FUZZ_RUNS} iterations per harness."
+
+echo
+echo "All gates passed."

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Determinism lint gate.
+#
+# Runs tools/ddclint over the modules whose output must be bit-identical
+# for a given (configuration, seed) — the deterministic core of the
+# repo. Modules that legitimately touch real time, sockets or hash maps
+# (net, io, metrics, cli, workload) are NOT scanned: nondeterminism is
+# their job. Inside scanned modules, audited sinks (the --timing probes)
+# carry inline `// ddclint: allow(<rule>)` markers.
+#
+# The linter's own self-test runs first: it plants one violation per
+# rule and fails the gate if any rule has gone blind, so a regression in
+# the lint itself cannot silently green-light the tree.
+#
+# Usage:
+#   scripts/lint_determinism.sh           # self-test + scan
+#   BUILD_DIR=build scripts/lint_determinism.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+DDCLINT="$BUILD_DIR/tools/ddclint"
+
+if [[ ! -x "$DDCLINT" ]]; then
+  echo "lint_determinism: building ddclint..."
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" --target ddclint -j "$(nproc)" >/dev/null
+fi
+
+"$DDCLINT" --self-test
+
+# The deterministic modules: everything whose behaviour is a pure
+# function of (inputs, options, seed).
+"$DDCLINT" \
+  src/common \
+  src/linalg \
+  src/stats \
+  src/core \
+  src/summaries \
+  src/em \
+  src/partition \
+  src/exec \
+  src/sim \
+  src/gossip \
+  src/wire \
+  src/audit
+
+echo "Determinism lint passed."

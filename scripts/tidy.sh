@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# clang-tidy gate over src/, tools/, bench/ and fuzz/ with the committed
+# .clang-tidy config (WarningsAsErrors: '*', so any finding fails).
+#
+# Requires clang-tidy (and uses run-clang-tidy for parallelism when
+# available). On hosts without clang-tidy the gate SKIPS with exit 0 and
+# a loud message — the container this repo usually builds in ships only
+# gcc — while .github/workflows/ci.yml installs the real tool and runs
+# the gate authoritatively on every push. Set DDC_TIDY_STRICT=1 to turn
+# a missing tool into a failure (CI does).
+#
+# Usage:
+#   scripts/tidy.sh            # whole tree
+#   scripts/tidy.sh src/wire   # one subtree (any filter regex)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tidy}
+FILTER=${1:-'(src|tools|bench|fuzz)/'}
+
+TIDY=$(command -v clang-tidy || true)
+if [[ -z "$TIDY" ]]; then
+  if [[ "${DDC_TIDY_STRICT:-0}" == "1" ]]; then
+    echo "tidy: clang-tidy not found and DDC_TIDY_STRICT=1" >&2
+    exit 1
+  fi
+  echo "tidy: SKIPPED — clang-tidy not installed on this host."
+  echo "tidy: CI runs this gate; install clang-tidy to run it locally."
+  exit 0
+fi
+
+# A dedicated build dir: the gate needs a compile database, and we do
+# not want to perturb the default build tree's cache.
+cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+  -DDDC_FUZZ=ON >/dev/null
+
+RUNNER=$(command -v run-clang-tidy || true)
+if [[ -n "$RUNNER" ]]; then
+  "$RUNNER" -p "$BUILD_DIR" -quiet "$FILTER"
+else
+  # Fallback: sequential clang-tidy over the matching translation units.
+  mapfile -t sources < <(python3 - "$BUILD_DIR" "$FILTER" <<'EOF'
+import json, re, sys
+db, pattern = sys.argv[1] + "/compile_commands.json", sys.argv[2]
+for entry in json.load(open(db)):
+    if re.search(pattern, entry["file"]):
+        print(entry["file"])
+EOF
+  )
+  status=0
+  for source in "${sources[@]}"; do
+    "$TIDY" -p "$BUILD_DIR" "$source" || status=1
+  done
+  exit "$status"
+fi
+
+echo "clang-tidy clean over $FILTER"

@@ -1,0 +1,378 @@
+// ddclint — determinism lint for the ddc deterministic modules.
+//
+// The repo's headline guarantee is bit-identical runs at any thread
+// count, any transport, any seed. That property is global: one stray
+// wall-clock read, one unseeded RNG, or one iteration over a hash
+// container feeding ordered output anywhere in a deterministic module
+// silently breaks it for every seed. Example-based tests catch the
+// breakage only on the configurations they happen to run; this lint
+// catches the *source pattern* at review time.
+//
+// Usage:
+//   ddclint [--self-test] [--list-rules] <file-or-dir>...
+//
+// Scans every .hpp/.cpp under the given paths and reports one line per
+// violation:
+//
+//   src/foo/bar.cpp:42: [wall-clock] std::chrono clock read in a
+//       deterministic module (route timing through the metrics layer)
+//
+// Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+//
+// Suppressions: a finding is suppressed by the marker
+//
+//   // ddclint: allow(<rule>)
+//
+// on the same line or the line directly above it. Suppressions are for
+// sites that are *audited* nondeterminism sinks — e.g. the three timing
+// probes that feed `ddcsim --timing` read the steady clock inside
+// deterministic modules, but only ever into reporting counters, never
+// into control flow. Every allow() marker is expected to carry a
+// justification in the surrounding comment.
+//
+// Rules (see --list-rules):
+//   raw-rand           rand()/srand()/std::random_device — unseeded or
+//                      global-state randomness. All randomness must come
+//                      from ddc::stats::Rng streams derived via
+//                      stats::derive_seed.
+//   nonportable-engine std::default_random_engine / std::knuth_b — the
+//                      produced sequence is implementation-defined, so
+//                      two standard libraries disagree bit-for-bit.
+//   unordered-iter     std::unordered_map/std::unordered_set — hash
+//                      iteration order is unspecified and changes across
+//                      libstdc++ versions; anything iterating one into
+//                      ordered output is a nondeterminism hazard.
+//   wall-clock         std::chrono ::now() reads, time(), clock(),
+//                      gettimeofday — real time must never steer a
+//                      deterministic path.
+//   float-reorder      std::reduce / std::execution:: / atomic floats —
+//                      float addition is not associative; any construct
+//                      that reorders accumulation across runs or threads
+//                      changes low-order bits.
+//
+// The scanner is deliberately textual (it strips comments and string
+// literals, then pattern-matches): it has no false negatives from
+// macro-hidden calls it can see, needs no compile database, and runs in
+// milliseconds as a pre-commit gate. The price is that it scans
+// *mention*, not *use* — which is the right bias for a determinism
+// gate: even a mentioned-but-unused hazard in a deterministic module
+// deserves a comment explaining itself.
+#include <algorithm>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+struct Rule {
+  std::string_view name;
+  // Substring patterns; a line violates the rule if any pattern occurs
+  // in its code portion (comments and string literals stripped).
+  std::vector<std::string_view> patterns;
+  std::string_view message;
+};
+
+const std::vector<Rule>& rules() {
+  static const std::vector<Rule> kRules = {
+      {"raw-rand",
+       {"std::random_device", "random_device", " rand(", "\trand(", "(rand(",
+        "=rand(", " srand(", "\tsrand(", "(srand("},
+       "raw C randomness / random_device in a deterministic module "
+       "(derive a ddc::stats::Rng stream via stats::derive_seed instead)"},
+      {"nonportable-engine",
+       {"std::default_random_engine", "std::knuth_b"},
+       "implementation-defined random engine (its sequence differs across "
+       "standard libraries; use ddc::stats::Rng / std::mt19937_64)"},
+      {"unordered-iter",
+       {"std::unordered_map", "std::unordered_set", "std::unordered_multimap",
+        "std::unordered_multiset"},
+       "unordered container in a deterministic module (hash iteration "
+       "order is unspecified and feeds ordered output; use std::map / "
+       "std::set / a sorted vector, or justify with an allow marker)"},
+      {"wall-clock",
+       {"steady_clock::now", "system_clock::now", "high_resolution_clock::now",
+        "gettimeofday", " time(nullptr", " time(NULL", "(time(nullptr",
+        "(time(NULL", " clock()", "(clock()"},
+       "wall-clock read in a deterministic module (real time must not "
+       "steer a deterministic path; timing probes need an audited allow "
+       "marker)"},
+      {"float-reorder",
+       {"std::reduce", "std::execution::", "std::atomic<double>",
+        "std::atomic<float>", "atomic<double>", "atomic<float>"},
+       "accumulation-order hazard (float addition is not associative; "
+       "reductions must run in a fixed sequential order, see "
+       "exec/parallel_for.hpp)"},
+  };
+  return kRules;
+}
+
+constexpr std::string_view kAllowMarker = "ddclint: allow(";
+
+/// Returns the code portion of `line`: contents of // comments, /* */
+/// comments and string/char literals are blanked out (replaced by
+/// spaces) so patterns inside them do not fire. `in_block_comment`
+/// carries /* */ state across lines.
+std::string code_portion(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size();) {
+    if (in_block_comment) {
+      if (line.compare(i, 2, "*/") == 0) {
+        in_block_comment = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    if (line.compare(i, 2, "//") == 0) {
+      out.append(line.size() - i, ' ');
+      break;
+    }
+    if (line.compare(i, 2, "/*") == 0) {
+      in_block_comment = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"' || line[i] == '\'') {
+      const char quote = line[i];
+      out += ' ';
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        const bool closing = line[i] == quote;
+        out += ' ';
+        ++i;
+        if (closing) break;
+      }
+      continue;
+    }
+    out += line[i];
+    ++i;
+  }
+  return out;
+}
+
+/// True when `line` carries an allow marker for `rule` (in a comment —
+/// the marker is searched on the raw line).
+bool has_allow(const std::string& line, std::string_view rule) {
+  std::size_t pos = line.find(kAllowMarker);
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + kAllowMarker.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) return false;
+    const std::string_view inside{line.data() + open, close - open};
+    if (inside == rule || inside == "*") return true;
+    pos = line.find(kAllowMarker, close);
+  }
+  return false;
+}
+
+struct Finding {
+  std::string file;
+  std::size_t line;
+  std::string_view rule;
+  std::string_view message;
+};
+
+/// Scans one logical source text. `name` labels findings; used for both
+/// real files and the self-test's planted snippets.
+std::vector<Finding> scan_text(const std::string& name,
+                               const std::string& text) {
+  std::vector<Finding> findings;
+  std::istringstream stream(text);
+  std::string line;
+  std::string previous;
+  bool in_block_comment = false;
+  std::size_t lineno = 0;
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const std::string code = code_portion(line, in_block_comment);
+    for (const Rule& rule : rules()) {
+      bool hit = false;
+      for (const std::string_view pattern : rule.patterns) {
+        if (code.find(pattern) != std::string::npos) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) continue;
+      if (has_allow(line, rule.name) || has_allow(previous, rule.name)) {
+        continue;
+      }
+      findings.push_back(Finding{name, lineno, rule.name, rule.message});
+    }
+    previous = line;
+  }
+  return findings;
+}
+
+bool is_source_file(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+int scan_paths(const std::vector<std::string>& paths) {
+  std::vector<std::filesystem::path> files;
+  for (const std::string& p : paths) {
+    const std::filesystem::path path(p);
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && is_source_file(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(path, ec)) {
+      files.push_back(path);
+    } else {
+      std::cerr << "ddclint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  // Deterministic report order, whatever order the filesystem returned.
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "ddclint: cannot read " << file.string() << "\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    for (const Finding& f : scan_text(file.string(), buffer.str())) {
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      ++total;
+    }
+  }
+  if (total != 0) {
+    std::cout << "ddclint: " << total << " violation"
+              << (total == 1 ? "" : "s") << " in " << files.size()
+              << " file" << (files.size() == 1 ? "" : "s") << " scanned\n";
+    return 1;
+  }
+  std::cout << "ddclint: clean (" << files.size() << " file"
+            << (files.size() == 1 ? "" : "s") << " scanned)\n";
+  return 0;
+}
+
+/// One planted violation per rule, each with a matching allow()
+/// counterpart. The self-test proves (a) every rule fires on its
+/// planted snippet, (b) the allow marker suppresses exactly that rule,
+/// and (c) comments / string literals do not fire.
+int self_test() {
+  struct Plant {
+    std::string_view rule;
+    std::string_view code;
+  };
+  const std::vector<Plant> plants = {
+      {"raw-rand", "  std::random_device rd;\n"},
+      {"raw-rand", "  int x = rand();\n"},
+      {"nonportable-engine", "  std::default_random_engine eng(7);\n"},
+      {"unordered-iter", "  std::unordered_map<int, int> counts;\n"},
+      {"wall-clock", "  auto t = std::chrono::steady_clock::now();\n"},
+      {"float-reorder",
+       "  double s = std::reduce(v.begin(), v.end(), 0.0);\n"},
+  };
+  std::size_t failures = 0;
+  for (const Plant& plant : plants) {
+    const auto findings = scan_text("<plant>", std::string(plant.code));
+    bool fired = false;
+    for (const Finding& f : findings) fired = fired || f.rule == plant.rule;
+    if (!fired) {
+      std::cerr << "self-test FAIL: rule " << plant.rule
+                << " did not fire on planted violation: " << plant.code;
+      ++failures;
+    }
+    // The same snippet with an inline allow marker must be clean.
+    std::string allowed(plant.code);
+    allowed.pop_back();  // strip newline
+    allowed += "  // ddclint: allow(";
+    allowed += plant.rule;
+    allowed += ")\n";
+    if (!scan_text("<plant>", allowed).empty()) {
+      std::cerr << "self-test FAIL: allow(" << plant.rule
+                << ") did not suppress: " << allowed;
+      ++failures;
+    }
+    // And with the marker on the preceding line.
+    std::string above = "  // audited sink. ddclint: allow(";
+    above += plant.rule;
+    above += ")\n";
+    above += plant.code;
+    if (!scan_text("<plant>", above).empty()) {
+      std::cerr << "self-test FAIL: preceding-line allow(" << plant.rule
+                << ") did not suppress\n";
+      ++failures;
+    }
+  }
+  // Mentions inside comments and string literals must never fire.
+  const std::string benign =
+      "// std::random_device is banned here\n"
+      "/* steady_clock::now() in a block comment */\n"
+      "const char* msg = \"std::unordered_map<int,int> in a string\";\n";
+  for (const Finding& f : scan_text("<benign>", benign)) {
+    std::cerr << "self-test FAIL: fired on comment/string: [" << f.rule
+              << "] line " << f.line << "\n";
+    ++failures;
+  }
+  if (failures != 0) {
+    std::cerr << "ddclint self-test: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "ddclint self-test: all " << plants.size()
+            << " planted violations detected and suppressible\n";
+  return 0;
+}
+
+void list_rules() {
+  for (const Rule& rule : rules()) {
+    std::cout << rule.name << "\n    " << rule.message << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--self-test") return self_test();
+    if (arg == "--list-rules") {
+      list_rules();
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ddclint [--self-test] [--list-rules] "
+                   "<file-or-dir>...\n";
+      return 0;
+    }
+    if (arg.rfind("--", 0) == 0) {
+      std::cerr << "ddclint: unknown flag " << arg << "\n";
+      return 2;
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: ddclint [--self-test] [--list-rules] "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+  return scan_paths(paths);
+}

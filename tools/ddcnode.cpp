@@ -164,8 +164,11 @@ int run(const Config& config, Node node, MeanFn mean_of) {
               << " injected_losses=" << transport.injected_losses()
               << " reachable_peers=" << reachable << '\n';
   }
+  // Explicit flush: run_cluster.sh consumes this line from a pipe and
+  // must see it even if the process is subsequently killed.
   std::cout << ddc::tools::result_line(driver.node().classification(), mean_of)
-            << std::endl;
+            << '\n'
+            << std::flush;
   return 0;
 }
 
