@@ -44,9 +44,9 @@ struct ScaleRow {
 
 ScaleRow measure_n(std::size_t n) {
   const auto inputs = bimodal_inputs(n);
-  ddc::gossip::NetworkConfig config;
+  ddc::sim::EngineConfig config;
   config.k = 2;
-  config.seed = 101;
+  config.protocol_seed = 101;
   auto runner = ddc::sim::make_gm_round_runner(ddc::sim::Topology::complete(n),
                                                inputs, config);
   ScaleRow row;
@@ -67,14 +67,13 @@ ScaleRow measure_n(std::size_t n) {
 std::pair<double, std::vector<std::byte>> time_threads(
     const std::vector<ddc::linalg::Vector>& inputs, std::size_t threads,
     std::size_t rounds) {
-  ddc::gossip::NetworkConfig config;
+  ddc::sim::EngineConfig config;
   config.k = 2;
-  config.seed = 101;
-  ddc::sim::RoundRunnerOptions options;
-  options.seed = 103;
-  options.parallelism = threads;
+  config.protocol_seed = 101;
+  config.seed = 103;
+  config.parallelism = threads;
   auto runner = ddc::sim::make_gm_round_runner(
-      ddc::sim::Topology::complete(inputs.size()), inputs, config, options);
+      ddc::sim::Topology::complete(inputs.size()), inputs, config);
 
   const auto start = std::chrono::steady_clock::now();
   runner.run_rounds(rounds);

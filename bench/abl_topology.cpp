@@ -65,21 +65,20 @@ int main() {
     ddc::stats::Rng rng(51);
     const auto inputs = two_cluster_inputs(n, rng);
 
-    ddc::gossip::NetworkConfig config;
+    ddc::sim::EngineConfig config;
     config.k = 2;
     // Fine quantum: poorly-mixing topologies shrink collection weights by
     // large factors between refills (see DESIGN.md).
     config.quanta_per_unit = std::int64_t{1} << 40;
-    config.seed = 52;
-    ddc::sim::RoundRunnerOptions options;
-    options.selection = ddc::sim::NeighborSelection::round_robin;
-    options.seed = 53;
+    config.protocol_seed = 52;
+    config.selection = ddc::sim::NeighborSelection::round_robin;
+    config.seed = 53;
 
     Row row;
     row.diameter = entry.topology.diameter();
     row.edges = entry.topology.num_edges();
     auto runner = ddc::sim::make_centroid_round_runner(
-        std::move(entry.topology), inputs, config, options);
+        std::move(entry.topology), inputs, config);
     row.rounds =
         ddc::bench::run_until_agreement<ddc::summaries::CentroidPolicy>(
             runner, 1e-3, 10, max_rounds);

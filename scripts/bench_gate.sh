@@ -7,6 +7,12 @@
 # real_time against the committed baseline in BENCH_hotpath.json. Fails
 # if any gated kernel is more than TOLERANCE above its baseline.
 #
+# Also gates the SoA scale engine (bench/bench_scale) against
+# BENCH_scale.json: gossip throughput (rounds/s) and peak RSS per
+# (protocol, topology, node-count) configuration. The scale gate fails
+# if throughput drops below baseline/(1+tolerance) or peak RSS rises
+# above baseline*(1+tolerance).
+#
 # Usage:
 #   scripts/bench_gate.sh            # full gate: 3 repetitions, 0.2s each
 #   scripts/bench_gate.sh --smoke    # quick CI pass: 1 repetition, 0.05s,
@@ -16,27 +22,165 @@
 #   scripts/bench_gate.sh --update   # print a fresh "gate" JSON block to
 #                                    # paste into BENCH_hotpath.json after a
 #                                    # signed-off performance change
+#   scripts/bench_gate.sh --scale        # 10k-node scale tier vs
+#                                        # BENCH_scale.json "gate" block
+#   scripts/bench_gate.sh --scale-full   # adds the 100k and 1M tiers
+#                                        # ("full" block; ~2 min)
+#   scripts/bench_gate.sh --scale-update # print fresh BENCH_scale.json
+#                                        # "gate"/"full" blocks
 #
 # Environment:
 #   BUILD_DIR      build tree holding bench/micro_ops (default: build;
 #                  the top-level CMakeLists defaults to RelWithDebInfo,
 #                  so the default tree is already optimized)
-#   BASELINE       baseline file (default: BENCH_hotpath.json)
+#   BASELINE       baseline file (default: BENCH_hotpath.json, or
+#                  BENCH_scale.json in the --scale* modes)
 #   DDC_BENCH_TOLERANCE  override the regression tolerance, e.g. 0.25
 #                  means "fail if median > baseline * 1.25"
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build}
-BASELINE=${BASELINE:-BENCH_hotpath.json}
 
 MODE=full
 case "${1:-}" in
   --smoke) MODE=smoke ;;
   --update) MODE=update ;;
+  --scale) MODE=scale ;;
+  --scale-full) MODE=scale-full ;;
+  --scale-update) MODE=scale-update ;;
   "") ;;
-  *) echo "usage: $0 [--smoke|--update]" >&2; exit 2 ;;
+  *) echo "usage: $0 [--smoke|--update|--scale|--scale-full|--scale-update]" >&2
+     exit 2 ;;
 esac
+
+# ---------------------------------------------------------------------------
+# Scale-engine gate (--scale / --scale-full / --scale-update).
+#
+# One bench_scale process per configuration so ru_maxrss is a clean
+# per-configuration high-water mark. The 10⁵/10⁶-node entries pass
+# explicit sparse --radius/--er-prob: the TopologySpec density defaults
+# are sized for paper-scale graphs, not a million nodes.
+# ---------------------------------------------------------------------------
+if [[ "$MODE" == scale* ]]; then
+  BASELINE=${BASELINE:-BENCH_scale.json}
+  TOLERANCE=${DDC_BENCH_TOLERANCE:-0.5}
+
+  if [[ ! -x "$BUILD_DIR/bench/bench_scale" ]]; then
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+    cmake --build "$BUILD_DIR" --target bench_scale -j "$(nproc)"
+  fi
+
+  # name|bench_scale arguments. Keep in sync with BENCH_scale.json.
+  SMOKE_TIER=(
+    "centroid/ring/10000|--topology ring --nodes 10000 --rounds 10"
+    "centroid/grid/10000|--topology grid --nodes 10000 --rounds 10"
+    "centroid/geometric/10000|--topology geometric --nodes 10000 --radius 0.022 --rounds 10"
+    "centroid/er/10000|--topology er --nodes 10000 --er-prob 0.0016 --rounds 10"
+    "gm/ring/10000|--protocol gm --topology ring --nodes 10000 --rounds 5"
+  )
+  FULL_TIER=(
+    "centroid/ring/100000|--topology ring --nodes 100000 --rounds 10"
+    "centroid/grid/100000|--topology grid --nodes 100000 --rounds 10"
+    "centroid/geometric/100000|--topology geometric --nodes 100000 --radius 0.007 --rounds 10"
+    "centroid/er/100000|--topology er --nodes 100000 --er-prob 0.00016 --rounds 10"
+    "gm/ring/100000|--protocol gm --topology ring --nodes 100000 --rounds 3"
+    "centroid/ring/1000000|--topology ring --nodes 1000000 --rounds 5"
+    "centroid/grid/1000000|--topology grid --nodes 1000000 --rounds 5"
+    "centroid/geometric/1000000|--topology geometric --nodes 1000000 --radius 0.0022 --rounds 5"
+    "centroid/er/1000000|--topology er --nodes 1000000 --er-prob 0.000016 --rounds 5"
+  )
+
+  # run_tier <entry>... — emit "name rounds_per_s peak_rss_mb" per entry.
+  run_tier() {
+    local entry name args line
+    for entry in "$@"; do
+      name=${entry%%|*}
+      args=${entry#*|}
+      # shellcheck disable=SC2086
+      line=$("$BUILD_DIR/bench/bench_scale" $args \
+               --engine soa --threads 0 --seed 1 --name "$name")
+      echo "$line" | awk -F'[:,]' -v name="$name" '{
+        for (i = 1; i < NF; ++i) {
+          if ($i ~ /"rounds_per_s"/) rps = $(i + 1)
+          if ($i ~ /"peak_rss_mb"/) { rss = $(i + 1); gsub(/}/, "", rss) }
+        }
+        print name, rps, rss
+      }'
+    done
+  }
+
+  if [[ "$MODE" == scale-update ]]; then
+    for block in gate full; do
+      if [[ "$block" == gate ]]; then
+        rows=$(run_tier "${SMOKE_TIER[@]}")
+      else
+        rows=$(run_tier "${FULL_TIER[@]}")
+      fi
+      echo
+      echo "Fresh \"$block\" block for BENCH_scale.json:"
+      echo "  \"$block\": {"
+      printf '%s\n' "$rows" | awk '{
+        printf "    \"%s\": {\"rounds_per_s\": %s, \"peak_rss_mb\": %s},\n",
+               $1, $2, $3
+      }' | sed '$ s/},$/}/'
+      echo "  },"
+    done
+    exit 0
+  fi
+
+  echo "bench_gate: scale mode=$MODE (tolerance=±$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}') vs $BASELINE)"
+  ENTRIES=("${SMOKE_TIER[@]}")
+  if [[ "$MODE" == scale-full ]]; then
+    ENTRIES+=("${FULL_TIER[@]}")
+  fi
+
+  STATUS=0
+  while read -r name rps rss; do
+    # The baseline entry lives on one line: "name": {"rounds_per_s": R,
+    # "peak_rss_mb": M}. Absent entries fail the gate.
+    base_rps=""
+    base_rss=""
+    read -r base_rps base_rss < <(awk -v key="\"$name\":" '
+      index($0, key) {
+        for (i = 1; i <= NF; ++i) {
+          if ($i ~ /"rounds_per_s"/) { v = $(i + 1); gsub(/[,}]/, "", v); r = v }
+          if ($i ~ /"peak_rss_mb"/) { v = $(i + 1); gsub(/[,}]/, "", v); m = v }
+        }
+        print r, m
+      }' "$BASELINE") || true
+    if [[ -z "${base_rps:-}" || -z "${base_rss:-}" ]]; then
+      echo "bench_gate: FAIL  $name missing from $BASELINE" >&2
+      STATUS=1
+      continue
+    fi
+    verdict=$(awk -v rps="$rps" -v rss="$rss" -v brps="$base_rps" \
+                  -v brss="$base_rss" -v t="$TOLERANCE" 'BEGIN {
+      slow = rps < brps / (1 + t)
+      fat = rss > brss * (1 + t)
+      printf "%s rps=%.3g(min %.3g) rss=%.4gMB(max %.4g)",
+             (slow || fat ? "FAIL" : "ok"), rps, brps / (1 + t),
+             rss, brss * (1 + t)
+    }')
+    if [[ "$verdict" == FAIL* ]]; then
+      echo "bench_gate: FAIL  $name  ${verdict#FAIL }" >&2
+      STATUS=1
+    else
+      echo "bench_gate: ok    $name  ${verdict#ok }"
+    fi
+  done < <(run_tier "${ENTRIES[@]}")
+
+  if [[ "$STATUS" -ne 0 ]]; then
+    echo "bench_gate: SCALE REGRESSION — throughput or memory moved past tolerance." >&2
+    echo "bench_gate: if intentional and signed off, refresh BENCH_scale.json with" >&2
+    echo "bench_gate: 'scripts/bench_gate.sh --scale-update'." >&2
+    exit 1
+  fi
+  echo "bench_gate: scale engine within ±$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}') of $BASELINE."
+  exit 0
+fi
+
+BASELINE=${BASELINE:-BENCH_hotpath.json}
 
 REPS=3
 MIN_TIME=0.2

@@ -24,7 +24,10 @@
 #                  BENCH_hotpath.json, so a hot-path complexity
 #                  regression (say, an accidental return to the O(m³)
 #                  partition rescan) fails even when every unit test
-#                  still passes.
+#                  still passes; then the 10k-node scale tier against
+#                  BENCH_scale.json (throughput + peak RSS of the SoA
+#                  engine; the 100k/1M tiers are on-demand via
+#                  scripts/bench_gate.sh --scale-full).
 #   7. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
 #                  invariants via the ddc::audit pool auditors) replay
 #                  the committed corpus plus DDC_FUZZ_RUNS fresh
@@ -102,6 +105,12 @@ echo "=== gate 6/7: bench regression gate ==="
 scripts/bench_gate.sh --smoke
 
 echo "Bench gate passed: hot-path kernels within tolerance of BENCH_hotpath.json."
+
+# Scale-engine tier: 10k-node throughput/RSS vs BENCH_scale.json. The
+# 100k/1M tiers are on-demand only (scripts/bench_gate.sh --scale-full).
+scripts/bench_gate.sh --scale
+
+echo "Scale gate passed: 10k-node tier within tolerance of BENCH_scale.json."
 
 echo
 echo "=== gate 7/7: fuzz smoke ==="

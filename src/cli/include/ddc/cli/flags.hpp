@@ -50,6 +50,9 @@ class Flags {
   /// True iff the flag was explicitly set on the command line.
   [[nodiscard]] bool is_set(const std::string& name) const;
 
+  /// True iff the flag has been declared (accessors require this).
+  [[nodiscard]] bool declared(const std::string& name) const;
+
   /// The generated --help text.
   [[nodiscard]] std::string help_text() const;
 

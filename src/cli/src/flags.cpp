@@ -156,6 +156,10 @@ bool Flags::is_set(const std::string& name) const {
   return entry(name).value.has_value();
 }
 
+bool Flags::declared(const std::string& name) const {
+  return entries_.contains(name);
+}
+
 std::string Flags::help_text() const {
   std::ostringstream os;
   os << program_ << " — " << description_ << "\n\nflags:\n";

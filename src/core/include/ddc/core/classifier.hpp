@@ -143,6 +143,14 @@ class GenericClassifier {
     return classification_;
   }
 
+  /// Mutable access to the classification, for LOADING externally held
+  /// state (the scale engine keeps node state in struct-of-arrays pools
+  /// and rehydrates a scratch classifier per node). The caller owns the
+  /// invariants while mutating: positive weights, size within [1, k].
+  [[nodiscard]] Classification<Summary>& mutable_classification() noexcept {
+    return classification_;
+  }
+
   [[nodiscard]] const ClassifierOptions& options() const noexcept {
     return options_;
   }
@@ -153,6 +161,10 @@ class GenericClassifier {
   [[nodiscard]] const PP& partition_policy() const noexcept {
     return partition_policy_;
   }
+
+  /// Mutable policy access, for swapping per-node policy state (e.g. the
+  /// EM policy's RNG) in and out of a scratch classifier.
+  [[nodiscard]] PP& partition_policy() noexcept { return partition_policy_; }
 
  private:
   /// Runs the policy and enforces the structural constraints of

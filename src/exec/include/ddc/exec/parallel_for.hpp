@@ -34,18 +34,36 @@
 
 namespace ddc::exec {
 
-template <typename Body>
-void parallel_for(ThreadPool* pool, std::size_t count, Body&& body) {
+/// The number of contiguous chunks parallel_for / parallel_for_chunks
+/// splits [0, count) into. Depends only on (pool worker count, count) —
+/// never on timing — so callers can pre-allocate per-chunk scratch state
+/// once and reuse it across calls.
+[[nodiscard]] inline std::size_t parallel_chunk_count(const ThreadPool* pool,
+                                                      std::size_t count) {
   const std::size_t workers = pool == nullptr ? 0 : pool->num_threads();
-  if (workers == 0 || count < 2) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-
+  if (workers == 0 || count < 2) return count == 0 ? 0 : 1;
   // More chunks than threads so a slow chunk (e.g. one node's EM run)
   // doesn't leave the rest of the pool idle; boundaries depend only on
   // (count, num_chunks).
-  const std::size_t num_chunks = std::min(count, (workers + 1) * 4);
+  return std::min(count, (workers + 1) * 4);
+}
+
+/// Chunk-granular variant of parallel_for: body(chunk, begin, end) is
+/// called once per contiguous chunk, with chunk < parallel_chunk_count(
+/// pool, count) and [begin, end) the chunk's index range. Same guarantees
+/// as parallel_for (stable chunking, caller participates, first exception
+/// rethrown); additionally each chunk index is used by exactly one call,
+/// so per-chunk scratch state (indexed by `chunk`) needs no
+/// synchronization. The scale engine uses this to give each chunk its own
+/// scratch classifier.
+template <typename ChunkBody>
+void parallel_for_chunks(ThreadPool* pool, std::size_t count,
+                         ChunkBody&& body) {
+  const std::size_t num_chunks = parallel_chunk_count(pool, count);
+  if (num_chunks <= 1) {
+    if (num_chunks == 1) body(std::size_t{0}, std::size_t{0}, count);
+    return;
+  }
 
   struct Shared {
     std::atomic<std::size_t> next_chunk{0};
@@ -63,7 +81,7 @@ void parallel_for(ThreadPool* pool, std::size_t count, Body&& body) {
       const std::size_t begin = c * count / num_chunks;
       const std::size_t end = (c + 1) * count / num_chunks;
       try {
-        for (std::size_t i = begin; i < end; ++i) body(i);
+        body(c, begin, end);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(shared.mutex);
         if (!shared.error) shared.error = std::current_exception();
@@ -77,7 +95,7 @@ void parallel_for(ThreadPool* pool, std::size_t count, Body&& body) {
   // One helper task per worker (never more than there are chunks); the
   // caller drains alongside them and then waits for every helper to
   // retire, so `shared`/`body` stay alive until all tasks are done.
-  const std::size_t helpers = std::min(workers, num_chunks - 1);
+  const std::size_t helpers = std::min(pool->num_threads(), num_chunks - 1);
   for (std::size_t t = 0; t < helpers; ++t) {
     pool->submit([&shared, drain] {
       drain();
@@ -91,6 +109,15 @@ void parallel_for(ThreadPool* pool, std::size_t count, Body&& body) {
   shared.done.wait(lock,
                    [&shared, helpers] { return shared.tasks_finished == helpers; });
   if (shared.error) std::rethrow_exception(shared.error);
+}
+
+template <typename Body>
+void parallel_for(ThreadPool* pool, std::size_t count, Body&& body) {
+  parallel_for_chunks(pool, count,
+                      [&body](std::size_t /*chunk*/, std::size_t begin,
+                              std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
 }
 
 }  // namespace ddc::exec

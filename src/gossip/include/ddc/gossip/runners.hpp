@@ -21,11 +21,26 @@
 #include <ddc/gossip/classifier_node.hpp>
 #include <ddc/gossip/dkmeans.hpp>
 #include <ddc/gossip/network.hpp>
+#include <ddc/gossip/scale.hpp>
 #include <ddc/linalg/vector.hpp>
 #include <ddc/sim/async_runner.hpp>
+#include <ddc/sim/engine_config.hpp>
 #include <ddc/sim/round_runner.hpp>
 
 namespace ddc::gossip {
+
+/// The protocol-layer slice of an EngineConfig (the classifier nodes'
+/// NetworkConfig). Every EngineConfig-taking factory goes through this,
+/// so the protocol/environment seed split is decided in exactly one
+/// place.
+[[nodiscard]] inline NetworkConfig network_config(
+    const sim::EngineConfig& config) {
+  NetworkConfig net;
+  net.k = config.k;
+  net.quanta_per_unit = config.quanta_per_unit;
+  net.seed = config.protocol_seed;
+  return net;
+}
 
 /// Round-based GM network (the paper's Section 5 instantiation): one node
 /// per input, EM partitioning with per-node derived RNG streams.
@@ -93,6 +108,74 @@ make_dkmeans_round_runner(sim::Topology topology,
   return sim::AsyncRunner<CentroidNode>(std::move(topology),
                                         make_centroid_nodes(inputs, net),
                                         options);
+}
+
+// ---------------------------------------------------------------------------
+// EngineConfig overloads — the factories re-expressed on the unified
+// configuration object. One EngineConfig carries what used to be four
+// loose pieces (NetworkConfig, runner options, topology parameters,
+// fault model); these overloads slice it for the classic runners and the
+// scale engine. `config.validate()` is the caller's responsibility (the
+// CLI layer validates at parse time).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] inline sim::RoundRunner<GmNode> make_gm_round_runner(
+    sim::Topology topology, const std::vector<linalg::Vector>& inputs,
+    const sim::EngineConfig& config,
+    const em::ReductionOptions& reduction = {}) {
+  return make_gm_round_runner(std::move(topology), inputs,
+                              network_config(config), config.round_options(),
+                              reduction);
+}
+
+[[nodiscard]] inline sim::RoundRunner<CentroidNode> make_centroid_round_runner(
+    sim::Topology topology, const std::vector<linalg::Vector>& inputs,
+    const sim::EngineConfig& config) {
+  return make_centroid_round_runner(std::move(topology), inputs,
+                                    network_config(config),
+                                    config.round_options());
+}
+
+[[nodiscard]] inline sim::RoundRunner<PushSumNode> make_push_sum_round_runner(
+    sim::Topology topology, const std::vector<linalg::Vector>& inputs,
+    const sim::EngineConfig& config) {
+  return make_push_sum_round_runner(std::move(topology), inputs,
+                                    config.round_options());
+}
+
+[[nodiscard]] inline sim::AsyncRunner<GmNode> make_gm_async_runner(
+    sim::Topology topology, const std::vector<linalg::Vector>& inputs,
+    const sim::EngineConfig& config,
+    const em::ReductionOptions& reduction = {}) {
+  return make_gm_async_runner(std::move(topology), inputs,
+                              network_config(config), config.async_options(),
+                              reduction);
+}
+
+[[nodiscard]] inline sim::AsyncRunner<CentroidNode> make_centroid_async_runner(
+    sim::Topology topology, const std::vector<linalg::Vector>& inputs,
+    const sim::EngineConfig& config) {
+  return make_centroid_async_runner(std::move(topology), inputs,
+                                    network_config(config),
+                                    config.async_options());
+}
+
+[[nodiscard]] inline sim::SoaRoundEngine<GmScaleProtocol> make_gm_scale_engine(
+    sim::Topology topology, const std::vector<linalg::Vector>& inputs,
+    const sim::EngineConfig& config,
+    const em::ReductionOptions& reduction = {}) {
+  return make_gm_scale_engine(std::move(topology), inputs,
+                              network_config(config), config.round_options(),
+                              reduction);
+}
+
+[[nodiscard]] inline sim::SoaRoundEngine<CentroidScaleProtocol>
+make_centroid_scale_engine(sim::Topology topology,
+                           const std::vector<linalg::Vector>& inputs,
+                           const sim::EngineConfig& config) {
+  return make_centroid_scale_engine(std::move(topology), inputs,
+                                    network_config(config),
+                                    config.round_options());
 }
 
 }  // namespace ddc::gossip

@@ -1,0 +1,196 @@
+// Scale-engine bindings for the classifier protocols.
+//
+// SoaRoundEngine (src/sim) is protocol-agnostic: it stores node state in
+// flat pools and drives scratch classifiers through the unmodified
+// split/receive kernels. This header supplies what it cannot know — how
+// one protocol's summary embeds into a fixed number of doubles, and how
+// per-node policy state (the GM EM restart stream) persists across
+// rounds — plus the factories that assemble a ready-to-run engine:
+//
+//   auto engine = ddc::gossip::make_centroid_scale_engine(
+//       ddc::sim::Topology::grid(1000, 1000, false), inputs, net, options);
+//
+// Packing is EXACT (doubles are copied bit-for-bit), which is what lets
+// the golden equivalence suite demand bit-identical classifications
+// between this engine and RoundRunner.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/core/classifier.hpp>
+#include <ddc/gossip/classifier_node.hpp>
+#include <ddc/gossip/network.hpp>
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/sim/scale_engine.hpp>
+#include <ddc/stats/gaussian.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace ddc::gossip {
+
+/// SoA embedding of the centroid protocol (Algorithm 2): a summary is its
+/// centroid, packed as d doubles. The greedy partition policy is
+/// stateless, so no per-node RNG pool is kept.
+class CentroidScaleProtocol {
+ public:
+  using SummaryPolicy = summaries::CentroidPolicy;
+  using Partition = partition::GreedyDistancePartition<SummaryPolicy>;
+  using Classifier = core::GenericClassifier<SummaryPolicy, Partition>;
+  using Summary = linalg::Vector;
+  static constexpr bool has_node_rng = false;
+
+  CentroidScaleProtocol(std::size_t dim, std::size_t num_nodes,
+                        const NetworkConfig& config)
+      : dim_(dim), num_nodes_(num_nodes), config_(config) {
+    DDC_EXPECTS(dim_ >= 1);
+  }
+
+  [[nodiscard]] std::size_t k() const noexcept { return config_.k; }
+  [[nodiscard]] std::int64_t quanta_per_unit() const noexcept {
+    return config_.quanta_per_unit;
+  }
+  [[nodiscard]] std::size_t summary_doubles() const noexcept { return dim_; }
+
+  [[nodiscard]] Classifier make_scratch() const {
+    return Classifier(linalg::Vector(dim_), Partition{},
+                      node_options(config_, 0, num_nodes_));
+  }
+
+  void pack(const Summary& summary, double* out) const {
+    DDC_ASSERT(summary.dim() == dim_);
+    std::copy_n(summary.data().data(), dim_, out);
+  }
+
+  [[nodiscard]] Summary unpack(const double* in) const {
+    return linalg::Vector(std::vector<double>(in, in + dim_));
+  }
+
+ private:
+  std::size_t dim_;
+  std::size_t num_nodes_;
+  NetworkConfig config_;
+};
+
+/// SoA embedding of the GM protocol (Section 5): a summary is ⟨µ, Σ⟩,
+/// packed as d + d² doubles (mean, then covariance row-major). The EM
+/// partition policy carries each node's restart RNG, persisted in the
+/// engine's per-node stream pool and swapped into the scratch classifier
+/// around every receive — so node i's EM draws follow the same stream
+/// the object engine's dedicated EmPartition instance would consume.
+class GmScaleProtocol {
+ public:
+  using SummaryPolicy = summaries::GaussianPolicy;
+  using Partition = partition::EmPartition;
+  using Classifier = core::GenericClassifier<SummaryPolicy, Partition>;
+  using Summary = stats::Gaussian;
+  static constexpr bool has_node_rng = true;
+
+  GmScaleProtocol(std::size_t dim, std::size_t num_nodes,
+                  const NetworkConfig& config,
+                  const em::ReductionOptions& reduction = {})
+      : dim_(dim),
+        num_nodes_(num_nodes),
+        config_(config),
+        reduction_(reduction) {
+    DDC_EXPECTS(dim_ >= 1);
+  }
+
+  [[nodiscard]] std::size_t k() const noexcept { return config_.k; }
+  [[nodiscard]] std::int64_t quanta_per_unit() const noexcept {
+    return config_.quanta_per_unit;
+  }
+  [[nodiscard]] std::size_t summary_doubles() const noexcept {
+    return dim_ + dim_ * dim_;
+  }
+
+  [[nodiscard]] Classifier make_scratch() const {
+    // Seed value is irrelevant: the engine swaps the per-node stream in
+    // before any draw happens.
+    return Classifier(linalg::Vector(dim_),
+                      partition::EmPartition(stats::Rng(0), reduction_),
+                      node_options(config_, 0, num_nodes_));
+  }
+
+  /// Per-node restart stream — same derivation as make_gm_nodes, so the
+  /// engines are interchangeable on a given seed.
+  [[nodiscard]] stats::Rng initial_rng(sim::NodeId i) const {
+    return stats::Rng::derive(config_.seed, i);
+  }
+
+  [[nodiscard]] static stats::Rng& node_rng(Classifier& classifier) {
+    return classifier.partition_policy().rng();
+  }
+
+  void pack(const Summary& summary, double* out) const {
+    DDC_ASSERT(summary.dim() == dim_);
+    std::copy_n(summary.mean().data().data(), dim_, out);
+    std::copy_n(summary.cov().data().data(), dim_ * dim_, out + dim_);
+  }
+
+  [[nodiscard]] Summary unpack(const double* in) const {
+    linalg::Vector mean(std::vector<double>(in, in + dim_));
+    linalg::Matrix cov(dim_, dim_);
+    for (std::size_t r = 0; r < dim_; ++r) {
+      for (std::size_t c = 0; c < dim_; ++c) {
+        cov(r, c) = in[dim_ + r * dim_ + c];
+      }
+    }
+    // A packed covariance is bitwise symmetric, so the constructor's
+    // symmetrize pass ((a+a)/2 per entry) reproduces it exactly — the
+    // round-trip stays bit-identical.
+    return stats::Gaussian(std::move(mean), std::move(cov));
+  }
+
+ private:
+  std::size_t dim_;
+  std::size_t num_nodes_;
+  NetworkConfig config_;
+  em::ReductionOptions reduction_;
+};
+
+/// Centroid network on the SoA scale engine (the 10⁵–10⁶ node backend).
+/// Aux-vector tracking is not representable in the pools.
+[[nodiscard]] inline sim::SoaRoundEngine<CentroidScaleProtocol>
+make_centroid_scale_engine(sim::Topology topology,
+                           const std::vector<linalg::Vector>& inputs,
+                           const NetworkConfig& net = {},
+                           const sim::RoundRunnerOptions& options = {}) {
+  DDC_EXPECTS(!inputs.empty());
+  DDC_EXPECTS(!net.track_aux);
+  CentroidScaleProtocol protocol(inputs.front().dim(), inputs.size(), net);
+  return sim::SoaRoundEngine<CentroidScaleProtocol>(
+      std::move(topology), std::move(protocol), options,
+      [&inputs](sim::NodeId i) {
+        return summaries::CentroidPolicy::val_to_summary(inputs[i]);
+      });
+}
+
+/// GM network on the SoA scale engine (see make_centroid_scale_engine).
+[[nodiscard]] inline sim::SoaRoundEngine<GmScaleProtocol>
+make_gm_scale_engine(sim::Topology topology,
+                     const std::vector<linalg::Vector>& inputs,
+                     const NetworkConfig& net = {},
+                     const sim::RoundRunnerOptions& options = {},
+                     const em::ReductionOptions& reduction = {}) {
+  DDC_EXPECTS(!inputs.empty());
+  DDC_EXPECTS(!net.track_aux);
+  GmScaleProtocol protocol(inputs.front().dim(), inputs.size(), net,
+                           reduction);
+  return sim::SoaRoundEngine<GmScaleProtocol>(
+      std::move(topology), std::move(protocol), options,
+      [&inputs](sim::NodeId i) {
+        return summaries::GaussianPolicy::val_to_summary(inputs[i]);
+      });
+}
+
+}  // namespace ddc::gossip
+
+namespace ddc::sim {
+// Re-exports, matching the runner factories' convention (runners.hpp).
+using gossip::make_centroid_scale_engine;
+using gossip::make_gm_scale_engine;
+}  // namespace ddc::sim

@@ -49,6 +49,19 @@ enum class GossipPattern {
   push_pull,
 };
 
+/// What a live node does about crashed neighbors (round engine and scale
+/// engine; the async engine models reliable crash-free channels).
+enum class CrashSendPolicy {
+  /// Nodes detect dead neighbors and gossip only with live ones (a radio
+  /// mote notices silence). Weight is lost only when a node crashes while
+  /// holding it — the Fig. 4 regime.
+  avoid_crashed,
+  /// Nodes keep addressing crashed neighbors; those messages (and their
+  /// weight) vanish. On dense graphs with heavy mortality this drains the
+  /// whole system's weight — a harsher failure model, kept for study.
+  drop_at_crashed,
+};
+
 /// Options shared by the round-based and asynchronous engines. The
 /// engine-specific option structs extend this, so the common fields are
 /// spelled (and defaulted) once.

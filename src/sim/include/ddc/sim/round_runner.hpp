@@ -40,17 +40,9 @@
 
 namespace ddc::sim {
 
-/// What a live node does about crashed neighbors.
-enum class CrashSendPolicy {
-  /// Nodes detect dead neighbors and gossip only with live ones (a radio
-  /// mote notices silence). Weight is lost only when a node crashes while
-  /// holding it — the Fig. 4 regime.
-  avoid_crashed,
-  /// Nodes keep addressing crashed neighbors; those messages (and their
-  /// weight) vanish. On dense graphs with heavy mortality this drains the
-  /// whole system's weight — a harsher failure model, kept for study.
-  drop_at_crashed,
-};
+// CrashSendPolicy moved to gossip_node.hpp (the shared options
+// vocabulary) so EngineConfig's fault model can name it without pulling
+// in a whole engine header; it remains ddc::sim::CrashSendPolicy.
 
 /// Configuration of a round-based run. Selection, pattern and seed come
 /// from the shared options layer (CommonRunnerOptions).

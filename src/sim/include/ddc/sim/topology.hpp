@@ -6,6 +6,13 @@
 // families used by the evaluation and the ablations: the fully-connected
 // graph of Section 5.3, rings/lines/grids, random geometric graphs (the
 // natural model of a radio sensor field), and Erdős–Rényi graphs.
+//
+// Storage is compressed sparse row (CSR): one flat offsets array and one
+// flat targets array, so a million-node sparse graph costs two cache-dense
+// allocations instead of a million little adjacency vectors, and
+// `neighbors(i)` is an O(1) span lookup. Neighbor ORDER is part of the
+// contract — the engines' round-robin cursors and uniform draws index into
+// it — and matches the historical per-node insertion order exactly.
 #pragma once
 
 #include <cstddef>
@@ -20,7 +27,7 @@ namespace ddc::sim {
 
 using NodeId = std::size_t;
 
-/// A static directed graph with adjacency lists. Immutable once built.
+/// A static directed graph in CSR form. Immutable once built.
 class Topology {
  public:
   /// Graph from explicit directed edges. Self-loops and duplicate edges
@@ -54,6 +61,13 @@ class Topology {
   /// connected when within `radius`. Models radio range in a sensor field.
   /// Redraws positions (up to `max_attempts`) until the graph is
   /// connected; throws ddc::ConfigError if that never happens.
+  ///
+  /// Candidate pairs come from a grid-bucketed neighbor search (cells of
+  /// side `radius`, 3×3 stencil), so construction is O(n + edges) expected
+  /// instead of the all-pairs O(n²) — feasible at 10⁵–10⁶ nodes. The
+  /// positions drawn, the edge set and the neighbor order are identical to
+  /// the historical all-pairs scan (seed-era draw order preserved;
+  /// topology_test pins this against a reference implementation).
   [[nodiscard]] static Topology random_geometric(std::size_t n, double radius,
                                                  stats::Rng& rng,
                                                  std::size_t max_attempts = 100);
@@ -63,11 +77,19 @@ class Topology {
                                             stats::Rng& rng,
                                             std::size_t max_attempts = 100);
 
-  [[nodiscard]] std::size_t num_nodes() const noexcept { return out_.size(); }
-  [[nodiscard]] std::size_t num_edges() const noexcept { return num_edges_; }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    return targets_.size();
+  }
 
-  /// Out-neighbors of `i` — the nodes `i` may send to.
+  /// Out-neighbors of `i` — the nodes `i` may send to. O(1), a view into
+  /// the CSR targets array; valid as long as the topology lives.
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId i) const;
+
+  /// Out-degree of `i`.
+  [[nodiscard]] std::size_t degree(NodeId i) const {
+    return neighbors(i).size();
+  }
 
   /// True iff there is an edge i → j.
   [[nodiscard]] bool has_edge(NodeId i, NodeId j) const;
@@ -86,13 +108,41 @@ class Topology {
     return positions_;
   }
 
- private:
-  explicit Topology(std::size_t n) : out_(n) {}
-  void add_edge(NodeId from, NodeId to);
-  void add_undirected(NodeId a, NodeId b);
+  /// Materialized adjacency lists, one vector per node.
+  ///
+  /// Pre-CSR this was (a view of) the native representation; it now copies
+  /// the whole edge set into n separate heap vectors, which defeats the
+  /// point of CSR at scale. Iterate `neighbors(i)` instead.
+  [[deprecated("iterate neighbors(i) — adjacency() copies the whole graph")]]
+  [[nodiscard]] std::vector<std::vector<NodeId>> adjacency() const;
 
-  std::vector<std::vector<NodeId>> out_;
-  std::size_t num_edges_ = 0;
+ private:
+  /// Accumulates directed edges in insertion order, then compresses into
+  /// CSR with a stable counting sort by source — so each node's neighbor
+  /// list keeps the exact order in which its edges were added, matching
+  /// the pre-CSR adjacency-vector behaviour draw for draw.
+  class Builder {
+   public:
+    explicit Builder(std::size_t n) : degree_(n, 0) {}
+    void add_edge(NodeId from, NodeId to);
+    void add_undirected(NodeId a, NodeId b);
+    [[nodiscard]] std::size_t num_nodes() const noexcept {
+      return degree_.size();
+    }
+    /// Compresses into a Topology. Rejects duplicate edges (DDC_EXPECTS).
+    [[nodiscard]] Topology finish() &&;
+
+   private:
+    std::vector<std::pair<NodeId, NodeId>> edges_;
+    std::vector<std::size_t> degree_;
+  };
+
+  Topology() = default;
+
+  std::size_t num_nodes_ = 0;
+  /// offsets_[i]..offsets_[i+1] delimit node i's slice of targets_.
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> targets_;
   std::optional<std::vector<std::pair<double, double>>> positions_;
 };
 

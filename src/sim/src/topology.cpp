@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <queue>
 
 #include <ddc/common/assert.hpp>
@@ -9,106 +10,218 @@
 
 namespace ddc::sim {
 
-void Topology::add_edge(NodeId from, NodeId to) {
-  DDC_EXPECTS(from < out_.size() && to < out_.size());
+void Topology::Builder::add_edge(NodeId from, NodeId to) {
+  DDC_EXPECTS(from < degree_.size() && to < degree_.size());
   DDC_EXPECTS(from != to);
-  DDC_EXPECTS(!has_edge(from, to));
-  out_[from].push_back(to);
-  ++num_edges_;
+  edges_.emplace_back(from, to);
+  ++degree_[from];
 }
 
-void Topology::add_undirected(NodeId a, NodeId b) {
+void Topology::Builder::add_undirected(NodeId a, NodeId b) {
   add_edge(a, b);
   add_edge(b, a);
+}
+
+Topology Topology::Builder::finish() && {
+  const std::size_t n = degree_.size();
+  Topology t;
+  t.num_nodes_ = n;
+  t.offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    t.offsets_[i + 1] = t.offsets_[i] + degree_[i];
+  }
+  t.targets_.resize(edges_.size());
+  // Stable counting sort by source: each node's slice receives its edges
+  // in global insertion order, reproducing the old per-vector push_back
+  // order exactly.
+  std::vector<std::size_t> cursor(t.offsets_.begin(), t.offsets_.end() - 1);
+  for (const auto& [from, to] : edges_) t.targets_[cursor[from]++] = to;
+  // Duplicate-edge rejection, deferred to here so construction stays
+  // O(E log deg) instead of O(E·deg) has_edge probes.
+  std::vector<NodeId> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto nbrs = t.neighbors(i);
+    scratch.assign(nbrs.begin(), nbrs.end());
+    std::sort(scratch.begin(), scratch.end());
+    DDC_EXPECTS(std::adjacent_find(scratch.begin(), scratch.end()) ==
+                scratch.end());
+  }
+  return t;
 }
 
 Topology Topology::from_edges(
     std::size_t num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges) {
   DDC_EXPECTS(num_nodes >= 1);
-  Topology t(num_nodes);
-  for (const auto& [from, to] : edges) t.add_edge(from, to);
-  return t;
+  Builder b(num_nodes);
+  for (const auto& [from, to] : edges) b.add_edge(from, to);
+  return std::move(b).finish();
 }
 
 Topology Topology::complete(std::size_t n) {
   DDC_EXPECTS(n >= 2);
-  Topology t(n);
+  Builder b(n);
   for (NodeId i = 0; i < n; ++i) {
     for (NodeId j = 0; j < n; ++j) {
-      if (i != j) t.add_edge(i, j);
+      if (i != j) b.add_edge(i, j);
     }
   }
-  return t;
+  return std::move(b).finish();
 }
 
 Topology Topology::ring(std::size_t n) {
   DDC_EXPECTS(n >= 2);
-  Topology t(n);
-  for (NodeId i = 0; i < n; ++i) {
-    const NodeId next = (i + 1) % n;
-    if (!t.has_edge(i, next)) t.add_undirected(i, next);
+  Builder b(n);
+  if (n == 2) {
+    // One undirected pair; the wrap-around edge would be a duplicate.
+    b.add_undirected(0, 1);
+  } else {
+    for (NodeId i = 0; i < n; ++i) b.add_undirected(i, (i + 1) % n);
   }
-  return t;
+  return std::move(b).finish();
 }
 
 Topology Topology::directed_ring(std::size_t n) {
   DDC_EXPECTS(n >= 2);
-  Topology t(n);
-  for (NodeId i = 0; i < n; ++i) t.add_edge(i, (i + 1) % n);
-  return t;
+  Builder b(n);
+  for (NodeId i = 0; i < n; ++i) b.add_edge(i, (i + 1) % n);
+  return std::move(b).finish();
 }
 
 Topology Topology::line(std::size_t n) {
   DDC_EXPECTS(n >= 2);
-  Topology t(n);
-  for (NodeId i = 0; i + 1 < n; ++i) t.add_undirected(i, i + 1);
-  return t;
+  Builder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) b.add_undirected(i, i + 1);
+  return std::move(b).finish();
 }
 
 Topology Topology::star(std::size_t n) {
   DDC_EXPECTS(n >= 2);
-  Topology t(n);
-  for (NodeId i = 1; i < n; ++i) t.add_undirected(0, i);
-  return t;
+  Builder b(n);
+  for (NodeId i = 1; i < n; ++i) b.add_undirected(0, i);
+  return std::move(b).finish();
 }
 
 Topology Topology::grid(std::size_t rows, std::size_t cols, bool torus) {
   DDC_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 2);
-  Topology t(rows * cols);
+  Builder b(rows * cols);
   const auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
   for (std::size_t r = 0; r < rows; ++r) {
     for (std::size_t c = 0; c < cols; ++c) {
       if (c + 1 < cols) {
-        t.add_undirected(id(r, c), id(r, c + 1));
+        b.add_undirected(id(r, c), id(r, c + 1));
       } else if (torus && cols > 2) {
-        t.add_undirected(id(r, c), id(r, 0));
+        b.add_undirected(id(r, c), id(r, 0));
       }
       if (r + 1 < rows) {
-        t.add_undirected(id(r, c), id(r + 1, c));
+        b.add_undirected(id(r, c), id(r + 1, c));
       } else if (torus && rows > 2) {
-        t.add_undirected(id(r, c), id(0, c));
+        b.add_undirected(id(r, c), id(0, c));
       }
     }
   }
-  return t;
+  return std::move(b).finish();
 }
+
+namespace {
+
+/// Uniform-grid spatial index over the unit square with cells of side
+/// `radius`: candidate neighbors of a point all live in its 3×3 cell
+/// stencil, turning the all-pairs O(n²) distance scan into O(n) expected
+/// for the radii the sensor-field workloads use.
+class CellIndex {
+ public:
+  CellIndex(const std::vector<std::pair<double, double>>& pos, double radius)
+      : side_(grid_side(pos.size(), radius)),
+        offsets_(side_ * side_ + 1, 0),
+        members_(pos.size()) {
+    // Counting sort of point indices by cell, preserving index order
+    // within each cell (points are visited in ascending index twice).
+    std::vector<std::size_t> count(side_ * side_, 0);
+    for (const auto& p : pos) ++count[cell_of(p)];
+    for (std::size_t c = 0; c < count.size(); ++c) {
+      offsets_[c + 1] = offsets_[c] + count[c];
+    }
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      members_[cursor[cell_of(pos[i])]++] = i;
+    }
+  }
+
+  /// Appends to `out` every point index in the 3×3 stencil around `p`.
+  void stencil(const std::pair<double, double>& p,
+               std::vector<std::size_t>& out) const {
+    const std::size_t cr = clamp_axis(p.first);
+    const std::size_t cc = clamp_axis(p.second);
+    const std::size_t r_lo = cr == 0 ? 0 : cr - 1;
+    const std::size_t r_hi = std::min(cr + 1, side_ - 1);
+    const std::size_t c_lo = cc == 0 ? 0 : cc - 1;
+    const std::size_t c_hi = std::min(cc + 1, side_ - 1);
+    for (std::size_t r = r_lo; r <= r_hi; ++r) {
+      for (std::size_t c = c_lo; c <= c_hi; ++c) {
+        const std::size_t cell = r * side_ + c;
+        for (std::size_t m = offsets_[cell]; m < offsets_[cell + 1]; ++m) {
+          out.push_back(members_[m]);
+        }
+      }
+    }
+  }
+
+ private:
+  /// Cells of side ≥ radius (so the 3×3 stencil covers the disc), capped
+  /// near √n per axis so a tiny radius cannot allocate more cells than
+  /// points.
+  [[nodiscard]] static std::size_t grid_side(std::size_t n, double radius) {
+    const auto from_radius = static_cast<std::size_t>(1.0 / std::min(radius, 1.0));
+    const auto from_points =
+        static_cast<std::size_t>(std::sqrt(static_cast<double>(n))) + 1;
+    return std::max<std::size_t>(1, std::min(from_radius, from_points));
+  }
+
+  [[nodiscard]] std::size_t clamp_axis(double x) const {
+    const auto c = static_cast<std::size_t>(
+        std::max(0.0, x) * static_cast<double>(side_));
+    return std::min(c, side_ - 1);
+  }
+  [[nodiscard]] std::size_t cell_of(const std::pair<double, double>& p) const {
+    return clamp_axis(p.first) * side_ + clamp_axis(p.second);
+  }
+
+  std::size_t side_;
+  std::vector<std::size_t> offsets_;
+  std::vector<std::size_t> members_;
+};
+
+}  // namespace
 
 Topology Topology::random_geometric(std::size_t n, double radius,
                                     stats::Rng& rng, std::size_t max_attempts) {
   DDC_EXPECTS(n >= 2);
   DDC_EXPECTS(radius > 0.0);
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    Topology t(n);
     std::vector<std::pair<double, double>> pos(n);
     for (auto& p : pos) p = {rng.uniform(), rng.uniform()};
     const double r2 = radius * radius;
+    const CellIndex index(pos, radius);
+    Builder b(n);
+    std::vector<std::size_t> candidates;
+    std::vector<std::size_t> hits;
     for (NodeId i = 0; i < n; ++i) {
-      for (NodeId j = i + 1; j < n; ++j) {
+      candidates.clear();
+      index.stencil(pos[i], candidates);
+      hits.clear();
+      for (const std::size_t j : candidates) {
+        if (j <= i) continue;  // each pair once, owned by its lower index
         const double dx = pos[i].first - pos[j].first;
         const double dy = pos[i].second - pos[j].second;
-        if (dx * dx + dy * dy <= r2) t.add_undirected(i, j);
+        if (dx * dx + dy * dy <= r2) hits.push_back(j);
       }
+      // Ascending j reproduces the historical all-pairs scan's edge
+      // insertion order, keeping neighbor lists (and thus every engine
+      // draw downstream) bit-identical to the seed era.
+      std::sort(hits.begin(), hits.end());
+      for (const std::size_t j : hits) b.add_undirected(i, j);
     }
+    Topology t = std::move(b).finish();
     if (t.is_connected()) {
       t.positions_ = std::move(pos);
       return t;
@@ -123,45 +236,79 @@ Topology Topology::erdos_renyi(std::size_t n, double p, stats::Rng& rng,
   DDC_EXPECTS(n >= 2);
   DDC_EXPECTS(p > 0.0 && p <= 1.0);
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    Topology t(n);
-    for (NodeId i = 0; i < n; ++i) {
-      for (NodeId j = i + 1; j < n; ++j) {
-        if (rng.bernoulli(p)) t.add_undirected(i, j);
+    Builder b(n);
+    if (p >= 1.0) {
+      for (NodeId i = 0; i < n; ++i) {
+        for (NodeId j = i + 1; j < n; ++j) b.add_undirected(i, j);
+      }
+    } else {
+      // Batagelj–Brandes skip sampling: instead of a Bernoulli draw per
+      // pair (quadratic — hopeless at 10⁵–10⁶ nodes), draw the geometric
+      // gap to the next present edge in the ordered pair sequence
+      // (1,0), (2,0), (2,1), (3,0), ... — O(n + m) draws total.
+      const double log1mp = std::log1p(-p);
+      std::size_t v = 1;
+      // w walks the pairs (v, w), w < v; start one before the first.
+      auto w = static_cast<std::ptrdiff_t>(-1);
+      while (v < n) {
+        const double r = rng.uniform();
+        w += 1 + static_cast<std::ptrdiff_t>(
+                     std::floor(std::log1p(-r) / log1mp));
+        while (v < n && w >= static_cast<std::ptrdiff_t>(v)) {
+          w -= static_cast<std::ptrdiff_t>(v);
+          ++v;
+        }
+        if (v < n) {
+          b.add_undirected(static_cast<NodeId>(v), static_cast<NodeId>(w));
+        }
       }
     }
+    Topology t = std::move(b).finish();
     if (t.is_connected()) return t;
   }
   throw ConfigError("erdos_renyi: no connected draw found; increase p");
 }
 
 std::span<const NodeId> Topology::neighbors(NodeId i) const {
-  DDC_EXPECTS(i < out_.size());
-  return out_[i];
+  DDC_EXPECTS(i < num_nodes_);
+  return {targets_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
 }
 
 bool Topology::has_edge(NodeId i, NodeId j) const {
-  DDC_EXPECTS(i < out_.size() && j < out_.size());
-  return std::find(out_[i].begin(), out_[i].end(), j) != out_[i].end();
+  DDC_EXPECTS(i < num_nodes_ && j < num_nodes_);
+  const auto nbrs = neighbors(i);
+  return std::find(nbrs.begin(), nbrs.end(), j) != nbrs.end();
+}
+
+std::vector<std::vector<NodeId>> Topology::adjacency() const {
+  std::vector<std::vector<NodeId>> lists(num_nodes_);
+  for (NodeId i = 0; i < num_nodes_; ++i) {
+    const auto nbrs = neighbors(i);
+    lists[i].assign(nbrs.begin(), nbrs.end());
+  }
+  return lists;
 }
 
 namespace {
 
-/// Nodes reachable from `start` following `adjacency`.
-std::size_t reachable_count(const std::vector<std::vector<NodeId>>& adjacency,
-                            NodeId start) {
-  std::vector<bool> seen(adjacency.size(), false);
-  std::queue<NodeId> frontier;
-  frontier.push(start);
+/// Nodes reachable from `start` following a CSR edge set.
+std::size_t reachable_count(std::size_t n,
+                            const std::vector<std::size_t>& offsets,
+                            const std::vector<NodeId>& targets, NodeId start) {
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> frontier;
+  frontier.push_back(start);
   seen[start] = true;
   std::size_t count = 1;
   while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop();
-    for (const NodeId v : adjacency[u]) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (std::size_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      const NodeId v = targets[e];
       if (!seen[v]) {
         seen[v] = true;
         ++count;
-        frontier.push(v);
+        frontier.push_back(v);
       }
     }
   }
@@ -171,30 +318,44 @@ std::size_t reachable_count(const std::vector<std::vector<NodeId>>& adjacency,
 }  // namespace
 
 bool Topology::is_connected() const {
-  if (out_.size() <= 1) return true;
+  if (num_nodes_ <= 1) return true;
   // Strong connectivity: everyone reachable from 0 following edges, and 0
   // reachable from everyone (equivalently: everyone reachable from 0 in
   // the reverse graph).
-  if (reachable_count(out_, 0) != out_.size()) return false;
-  std::vector<std::vector<NodeId>> reverse(out_.size());
-  for (NodeId u = 0; u < out_.size(); ++u) {
-    for (const NodeId v : out_[u]) reverse[v].push_back(u);
+  if (reachable_count(num_nodes_, offsets_, targets_, 0) != num_nodes_) {
+    return false;
   }
-  return reachable_count(reverse, 0) == out_.size();
+  // Reverse CSR via one more counting pass.
+  std::vector<std::size_t> rev_offsets(num_nodes_ + 1, 0);
+  for (const NodeId v : targets_) ++rev_offsets[v + 1];
+  for (std::size_t i = 0; i < num_nodes_; ++i) {
+    rev_offsets[i + 1] += rev_offsets[i];
+  }
+  std::vector<NodeId> rev_targets(targets_.size());
+  std::vector<std::size_t> cursor(rev_offsets.begin(), rev_offsets.end() - 1);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (std::size_t e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+      rev_targets[cursor[targets_[e]]++] = u;
+    }
+  }
+  return reachable_count(num_nodes_, rev_offsets, rev_targets, 0) ==
+         num_nodes_;
 }
 
 std::size_t Topology::diameter() const {
   DDC_EXPECTS(is_connected());
   std::size_t best = 0;
-  for (NodeId s = 0; s < out_.size(); ++s) {
-    std::vector<std::size_t> dist(out_.size(), SIZE_MAX);
+  std::vector<std::size_t> dist(num_nodes_);
+  for (NodeId s = 0; s < num_nodes_; ++s) {
+    std::fill(dist.begin(), dist.end(), SIZE_MAX);
     std::queue<NodeId> frontier;
     dist[s] = 0;
     frontier.push(s);
     while (!frontier.empty()) {
       const NodeId u = frontier.front();
       frontier.pop();
-      for (const NodeId v : out_[u]) {
+      for (std::size_t e = offsets_[u]; e < offsets_[u + 1]; ++e) {
+        const NodeId v = targets_[e];
         if (dist[v] == SIZE_MAX) {
           dist[v] = dist[u] + 1;
           frontier.push(v);

@@ -13,13 +13,19 @@
 //
 //   ddcnode --id 3 --nodes 8 --base-port 9800 --protocol gm
 //
-// scripts/run_cluster.sh launches and checks a whole cluster.
+// The shared engine flags (--topology/--nodes/--k/--quanta-exp/--seed)
+// come from cli::declare_engine_flags; every process runs the same
+// inputs-then-topology derivation ddcsim does, so a cluster and a
+// simulator run on the same seed classify the same workload over the
+// same graph. scripts/run_cluster.sh launches and checks a whole
+// cluster.
 #include <chrono>
 #include <iostream>
 #include <thread>
 
-#include <ddc/cli/flags.hpp>
+#include <ddc/cli/engine_flags.hpp>
 #include <ddc/gossip/network.hpp>
+#include <ddc/gossip/runners.hpp>
 #include <ddc/net/codec.hpp>
 #include <ddc/net/net_node.hpp>
 #include <ddc/net/udp.hpp>
@@ -35,15 +41,29 @@ namespace {
 
 using ddc::linalg::Vector;
 
+/// Which engine flag groups ddcnode exposes. Faults stay off — the
+/// engine fault model simulates lossy channels, while ddcnode's own
+/// --loss-prob injects receive-side datagram drops in a real transport.
+constexpr ddc::cli::EngineFlagSet kNodeFlagSet{.topology = true,
+                                               .gossip = false,
+                                               .faults = false,
+                                               .parallelism = false,
+                                               .protocol = true,
+                                               .backend = false,
+                                               .timing = false};
+
+ddc::sim::EngineConfig node_flag_defaults() {
+  ddc::sim::EngineConfig defaults;
+  defaults.topology.nodes = 8;  // a cluster of processes, not a simulation
+  return defaults;
+}
+
 struct Config {
   std::size_t id;
-  std::size_t nodes;
   std::uint16_t base_port;
   std::string host;
   std::string protocol;
   std::string workload;
-  std::string topology;
-  std::size_t k;
   std::size_t rounds;
   std::size_t tick_ms;
   std::size_t drain_ticks;
@@ -51,35 +71,28 @@ struct Config {
   std::size_t probe_timeout_ms;
   int probe_retries;
   double loss_prob;
-  std::uint64_t seed;
-  int quanta_exp;
   bool verbose;
+  ddc::sim::EngineConfig engine;
+
+  [[nodiscard]] std::size_t nodes() const { return engine.topology.nodes; }
+  [[nodiscard]] std::uint64_t seed() const { return engine.protocol_seed; }
 };
 
-std::vector<Vector> make_inputs(const Config& config) {
-  ddc::stats::Rng rng(config.seed);
+std::vector<Vector> make_inputs(const Config& config, ddc::stats::Rng& rng) {
   if (config.workload == "clusters") {
-    return ddc::workload::two_clusters_inputs(config.nodes, rng);
+    return ddc::workload::two_clusters_inputs(config.nodes(), rng);
   }
   if (config.workload == "fence") {
     return ddc::workload::sample_inputs(ddc::workload::fig2_mixture(),
-                                        config.nodes, rng);
+                                        config.nodes(), rng);
   }
   throw ddc::ConfigError("unknown workload '" + config.workload + "'");
 }
 
-ddc::sim::Topology make_topology(const Config& config) {
-  if (config.topology == "complete") {
-    return ddc::sim::Topology::complete(config.nodes);
-  }
-  if (config.topology == "ring") return ddc::sim::Topology::ring(config.nodes);
-  throw ddc::ConfigError("unknown topology '" + config.topology + "'");
-}
-
 ddc::net::UdpTransport make_transport(const Config& config) {
   std::vector<ddc::net::UdpPeer> peers;
-  peers.reserve(config.nodes);
-  for (std::size_t i = 0; i < config.nodes; ++i) {
+  peers.reserve(config.nodes());
+  for (std::size_t i = 0; i < config.nodes(); ++i) {
     peers.push_back({config.host,
                      static_cast<std::uint16_t>(config.base_port + i)});
   }
@@ -87,7 +100,7 @@ ddc::net::UdpTransport make_transport(const Config& config) {
   options.probe_timeout = std::chrono::milliseconds(config.probe_timeout_ms);
   options.probe_retries = config.probe_retries;
   options.inject_receive_loss = config.loss_prob;
-  options.loss_seed = ddc::stats::derive_seed(config.seed, 7000 + config.id);
+  options.loss_seed = ddc::stats::derive_seed(config.seed(), 7000 + config.id);
   return ddc::net::UdpTransport(static_cast<ddc::net::PeerId>(config.id),
                                 std::move(peers), options);
 }
@@ -109,7 +122,7 @@ void await_peers(const Config& config, ddc::net::UdpTransport& transport,
     (void)driver.service();
     transport.maintain();
     bool all_heard = true;
-    for (std::size_t p = 0; p < config.nodes; ++p) {
+    for (std::size_t p = 0; p < config.nodes(); ++p) {
       if (p == config.id) continue;
       if (transport.stats(static_cast<ddc::net::PeerId>(p)).frames_received ==
           0) {
@@ -125,13 +138,14 @@ void await_peers(const Config& config, ddc::net::UdpTransport& transport,
 }
 
 template <typename Node, typename Codec, typename MeanFn>
-int run(const Config& config, Node node, MeanFn mean_of) {
+int run(const Config& config, Node node, ddc::sim::Topology topology,
+        MeanFn mean_of) {
   ddc::net::UdpTransport transport = make_transport(config);
   ddc::net::NetNodeOptions node_options;
-  node_options.seed = ddc::stats::derive_seed(config.seed, 0x4e4f4445ULL +
-                                                               config.id);
+  node_options.seed = ddc::stats::derive_seed(config.seed(), 0x4e4f4445ULL +
+                                                                 config.id);
   ddc::net::NetNode<Node, Codec> driver(std::move(node), transport,
-                                        make_topology(config), node_options);
+                                        std::move(topology), node_options);
   await_peers(config, transport, driver);
 
   const auto tick = std::chrono::milliseconds(config.tick_ms);
@@ -151,7 +165,7 @@ int run(const Config& config, Node node, MeanFn mean_of) {
     std::uint64_t sent = 0;
     std::uint64_t received = 0;
     std::size_t reachable = 0;
-    for (std::size_t p = 0; p < config.nodes; ++p) {
+    for (std::size_t p = 0; p < config.nodes(); ++p) {
       const auto id = static_cast<ddc::net::PeerId>(p);
       sent += transport.stats(id).frames_sent;
       received += transport.stats(id).frames_received;
@@ -179,13 +193,10 @@ int main(int argc, char** argv) {
                         "networked distributed-classification node (one "
                         "process per node, gossip over UDP)");
   flags.declare("id", "this node's index in the peer table", "0");
-  flags.declare("nodes", "cluster size", "8");
   flags.declare("base-port", "node i listens on base-port + i", "9800");
   flags.declare("host", "IPv4 address every node binds and dials", "127.0.0.1");
   flags.declare("protocol", "gm | centroid", "gm");
   flags.declare("workload", "clusters | fence", "clusters");
-  flags.declare("topology", "complete | ring", "complete");
-  flags.declare("k", "max collections per node", "2");
   flags.declare("rounds", "gossip ticks to run", "60");
   flags.declare("tick-ms", "milliseconds between gossip ticks", "20");
   flags.declare("drain-ticks", "receive-only ticks after the last round", "25");
@@ -198,9 +209,8 @@ int main(int argc, char** argv) {
                 "probability of dropping each incoming datagram (loss "
                 "injection for tests)",
                 "0");
-  flags.declare("seed", "cluster-wide RNG seed", "1");
-  flags.declare("quanta-exp", "weight quanta per unit = 2^this", "20");
   flags.declare_bool("verbose", "print traffic stats to stderr");
+  ddc::cli::declare_engine_flags(flags, node_flag_defaults(), kNodeFlagSet);
 
   try {
     if (!flags.parse(argc, argv)) {
@@ -209,13 +219,10 @@ int main(int argc, char** argv) {
     }
     const Config config{
         static_cast<std::size_t>(flags.get_int("id")),
-        static_cast<std::size_t>(flags.get_int("nodes")),
         static_cast<std::uint16_t>(flags.get_int("base-port")),
         flags.get("host"),
         flags.get("protocol"),
         flags.get("workload"),
-        flags.get("topology"),
-        static_cast<std::size_t>(flags.get_int("k")),
         static_cast<std::size_t>(flags.get_int("rounds")),
         static_cast<std::size_t>(flags.get_int("tick-ms")),
         static_cast<std::size_t>(flags.get_int("drain-ticks")),
@@ -223,38 +230,38 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("probe-timeout-ms")),
         static_cast<int>(flags.get_int("probe-retries")),
         flags.get_double("loss-prob"),
-        static_cast<std::uint64_t>(flags.get_int("seed")),
-        static_cast<int>(flags.get_int("quanta-exp")),
         flags.get_bool("verbose"),
+        ddc::cli::parse_engine_config(flags, node_flag_defaults(),
+                                      kNodeFlagSet),
     };
-    if (config.nodes < 2) throw ddc::ConfigError("--nodes must be ≥ 2");
-    if (config.id >= config.nodes) {
+    if (config.id >= config.nodes()) {
       throw ddc::ConfigError("--id must be < --nodes");
-    }
-    if (config.quanta_exp < 0 || config.quanta_exp > 62) {
-      throw ddc::ConfigError("--quanta-exp must be in [0, 62]");
     }
     if (config.loss_prob < 0.0 || config.loss_prob > 1.0) {
       throw ddc::ConfigError("--loss-prob must be in [0, 1]");
     }
 
-    const std::vector<Vector> inputs = make_inputs(config);
-    ddc::gossip::NetworkConfig net;
-    net.k = config.k;
-    net.quanta_per_unit = std::int64_t{1} << config.quanta_exp;
-    net.seed = config.seed;
+    // Same derivation sequence as ddcsim: inputs first, then the
+    // topology, from one RNG seeded with --seed. Every process (and a
+    // simulator run on the same flags) lands on the identical graph.
+    ddc::stats::Rng rng(config.seed());
+    const std::vector<Vector> inputs = make_inputs(config, rng);
+    ddc::sim::Topology topology = config.engine.build_topology(rng);
+
+    const ddc::gossip::NetworkConfig net =
+        ddc::gossip::network_config(config.engine);
     const auto options =
-        ddc::gossip::node_options(net, config.id, config.nodes);
+        ddc::gossip::node_options(net, config.id, config.nodes());
 
     if (config.protocol == "gm") {
       ddc::gossip::GmNode node(
           inputs[config.id],
           ddc::partition::EmPartition(
-              ddc::stats::Rng::derive(config.seed, config.id), {}),
+              ddc::stats::Rng::derive(config.seed(), config.id), {}),
           options);
       return run<ddc::gossip::GmNode,
                  ddc::net::ClassificationCodec<ddc::stats::Gaussian>>(
-          config, std::move(node),
+          config, std::move(node), std::move(topology),
           [](const ddc::stats::Gaussian& g) { return g.mean(); });
     }
     if (config.protocol == "centroid") {
@@ -265,7 +272,8 @@ int main(int argc, char** argv) {
           options);
       return run<ddc::gossip::CentroidNode,
                  ddc::net::ClassificationCodec<Vector>>(
-          config, std::move(node), [](const Vector& v) { return v; });
+          config, std::move(node), std::move(topology),
+          [](const Vector& v) { return v; });
     }
     throw ddc::ConfigError("unknown protocol '" + config.protocol + "'");
   } catch (const ddc::Error& e) {

@@ -7,15 +7,22 @@
 //   ddcsim --workload outliers --delta 10 --crash-prob 0.05
 //   ddcsim --workload fence --k 7 --nodes 500 --topology geometric
 //   ddcsim --protocol pushsum --workload loads --csv
+//   ddcsim --nodes 100000 --engine soa --rounds 20   # scale engine
+//
+// The engine flags (--topology/--nodes/--pattern/--threads/--engine/...)
+// are the shared cli::declare_engine_flags surface; only the
+// tool-specific flags (--protocol, --workload, --rounds, output shape)
+// are declared here.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include <ddc/cli/flags.hpp>
+#include <ddc/cli/engine_flags.hpp>
 #include <ddc/gossip/network.hpp>
 #include <ddc/gossip/runners.hpp>
 #include <ddc/io/table.hpp>
 #include <ddc/metrics/classification_metrics.hpp>
+#include <ddc/metrics/streaming.hpp>
 #include <ddc/sim/round_runner.hpp>
 #include <ddc/sim/trace.hpp>
 #include <ddc/summaries/centroid.hpp>
@@ -28,98 +35,44 @@ namespace {
 
 using ddc::linalg::Vector;
 
-struct Config {
+/// The flags that are ddcsim's own, on top of the shared engine surface.
+struct ToolConfig {
   std::string protocol;
   std::string workload;
-  std::string topology;
-  std::size_t nodes;
-  std::size_t k;
   std::size_t rounds;
   std::size_t report_every;
-  std::size_t threads;
   double delta;
-  double crash_prob;
-  double loss_prob;
-  std::uint64_t seed;
-  int quanta_exp;
-  std::string pattern;
-  bool push_pull;
-  bool round_robin;
   bool csv;
   bool summary_line;
   bool timing;
   std::string trace_path;
 };
 
-ddc::sim::Topology make_topology(const Config& config, ddc::stats::Rng& rng) {
-  const std::size_t n = config.nodes;
-  if (config.topology == "complete") return ddc::sim::Topology::complete(n);
-  if (config.topology == "ring") return ddc::sim::Topology::ring(n);
-  if (config.topology == "dring") return ddc::sim::Topology::directed_ring(n);
-  if (config.topology == "line") return ddc::sim::Topology::line(n);
-  if (config.topology == "star") return ddc::sim::Topology::star(n);
-  if (config.topology == "grid" || config.topology == "torus") {
-    std::size_t rows = 1;
-    while ((rows + 1) * (rows + 1) <= n) ++rows;
-    return ddc::sim::Topology::grid(rows, (n + rows - 1) / rows,
-                                    config.topology == "torus");
-  }
-  if (config.topology == "geometric") {
-    return ddc::sim::Topology::random_geometric(
-        n, std::max(0.15, 2.0 / std::sqrt(static_cast<double>(n))), rng);
-  }
-  if (config.topology == "er") {
-    return ddc::sim::Topology::erdos_renyi(
-        n, std::max(0.05, 8.0 / static_cast<double>(n)), rng);
-  }
-  throw ddc::ConfigError("unknown topology '" + config.topology + "'");
-}
-
-std::vector<Vector> make_inputs(const Config& config, ddc::stats::Rng& rng) {
-  if (config.workload == "clusters") {
+std::vector<Vector> make_inputs(const ToolConfig& tool, std::size_t nodes,
+                                ddc::stats::Rng& rng) {
+  if (tool.workload == "clusters") {
     // Shared with ddcnode so networked and simulated runs on the same
     // seed classify identical inputs.
-    return ddc::workload::two_clusters_inputs(config.nodes, rng);
+    return ddc::workload::two_clusters_inputs(nodes, rng);
   }
-  if (config.workload == "fence") {
-    return ddc::workload::sample_inputs(ddc::workload::fig2_mixture(),
-                                        config.nodes, rng);
+  if (tool.workload == "fence") {
+    return ddc::workload::sample_inputs(ddc::workload::fig2_mixture(), nodes,
+                                        rng);
   }
-  if (config.workload == "outliers") {
-    const std::size_t n_out = std::max<std::size_t>(1, config.nodes / 20);
-    return ddc::workload::outlier_scenario(config.delta, rng,
-                                           config.nodes - n_out, n_out)
+  if (tool.workload == "outliers") {
+    const std::size_t n_out = std::max<std::size_t>(1, nodes / 20);
+    return ddc::workload::outlier_scenario(tool.delta, rng, nodes - n_out,
+                                           n_out)
         .inputs;
   }
-  if (config.workload == "loads") {
-    return ddc::workload::load_balancing_inputs(config.nodes, rng);
+  if (tool.workload == "loads") {
+    return ddc::workload::load_balancing_inputs(nodes, rng);
   }
-  throw ddc::ConfigError("unknown workload '" + config.workload + "'");
+  throw ddc::ConfigError("unknown workload '" + tool.workload + "'");
 }
 
-ddc::sim::GossipPattern parse_pattern(const Config& config) {
-  if (config.push_pull) return ddc::sim::GossipPattern::push_pull;
-  if (config.pattern == "push") return ddc::sim::GossipPattern::push;
-  if (config.pattern == "pull") return ddc::sim::GossipPattern::pull;
-  if (config.pattern == "push-pull") return ddc::sim::GossipPattern::push_pull;
-  throw ddc::ConfigError("unknown pattern '" + config.pattern + "'");
-}
-
-ddc::sim::RoundRunnerOptions runner_options(const Config& config) {
-  ddc::sim::RoundRunnerOptions options;
-  options.selection = config.round_robin
-                          ? ddc::sim::NeighborSelection::round_robin
-                          : ddc::sim::NeighborSelection::uniform_random;
-  options.pattern = parse_pattern(config);
-  options.crash_probability = config.crash_prob;
-  options.message_loss_probability = config.loss_prob;
-  options.seed = config.seed + 1;
-  options.parallelism = config.threads;
-  return options;
-}
-
-void emit(const Config& config, const ddc::io::Table& table) {
-  if (config.csv) {
+void emit(const ToolConfig& tool, const ddc::io::Table& table) {
+  if (tool.csv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
@@ -127,52 +80,67 @@ void emit(const Config& config, const ddc::io::Table& table) {
 }
 
 /// Writes the recorded trace (if requested) and reports where it went.
-void flush_trace(const Config& config, const ddc::sim::TraceRecorder& trace) {
-  if (config.trace_path.empty()) return;
-  std::ofstream out(config.trace_path);
+void flush_trace(const ToolConfig& tool, const ddc::sim::TraceRecorder& trace) {
+  if (tool.trace_path.empty()) return;
+  std::ofstream out(tool.trace_path);
   if (!out) {
-    throw ddc::ConfigError("cannot write trace file '" + config.trace_path +
+    throw ddc::ConfigError("cannot write trace file '" + tool.trace_path +
                            "'");
   }
   trace.write_csv(out);
   std::cout << "\ntrace: " << trace.events().size() << " events -> "
-            << config.trace_path << '\n';
+            << tool.trace_path << '\n';
+}
+
+/// Prints node 0's classification table and the optional RESULT line —
+/// shared tail of the object and scale classifier runs.
+template <typename Summary, typename SummaryPrinter, typename MeanFn>
+void report_classification(const ToolConfig& tool,
+                           const ddc::core::Classification<Summary>& c,
+                           SummaryPrinter print_summary, MeanFn mean_of) {
+  std::cout << "\nnode 0's classification after " << tool.rounds
+            << " rounds:\n";
+  ddc::io::Table result({"collection", "share", "summary"});
+  for (std::size_t j = 0; j < c.size(); ++j) {
+    result.add_row({static_cast<long long>(j), c.relative_weight(j),
+                    print_summary(c[j].summary)});
+  }
+  emit(tool, result);
+  if (tool.summary_line) {
+    // Machine-readable mirror of node 0's classification, comparable
+    // against a ddcnode cluster's RESULT lines (scripts/run_cluster.sh).
+    std::cout << ddc::tools::result_line(c, mean_of) << '\n';
+  }
+}
+
+void report_timing(double prepare_s, double absorb_s, double partition_s,
+                   double em_s) {
+  std::cout << "\nTIMING prepare_s=" << prepare_s << " absorb_s=" << absorb_s
+            << " partition_s=" << partition_s << " em_s=" << em_s << '\n';
 }
 
 template <typename Policy, typename Node, typename SummaryPrinter,
           typename MeanFn>
-int run_classifier(const Config& config, ddc::sim::RoundRunner<Node> runner,
+int run_classifier(const ToolConfig& tool, ddc::sim::RoundRunner<Node> runner,
                    SummaryPrinter print_summary, MeanFn mean_of) {
   ddc::sim::TraceRecorder trace;
-  if (!config.trace_path.empty()) runner.set_trace(&trace);
+  if (!tool.trace_path.empty()) runner.set_trace(&trace);
 
   ddc::io::Table progress({"round", "alive", "disagreement"}, 6);
-  for (std::size_t r = 0; r < config.rounds; ++r) {
+  for (std::size_t r = 0; r < tool.rounds; ++r) {
     runner.run_round();
-    if ((r + 1) % config.report_every == 0 || r + 1 == config.rounds) {
+    if ((r + 1) % tool.report_every == 0 || r + 1 == tool.rounds) {
       progress.add_row(
           {static_cast<long long>(r + 1),
            static_cast<long long>(runner.alive_count()),
            ddc::metrics::max_disagreement_vs_first<Policy>(runner.nodes())});
     }
   }
-  emit(config, progress);
+  emit(tool, progress);
 
-  std::cout << "\nnode 0's classification after " << config.rounds
-            << " rounds:\n";
-  ddc::io::Table result({"collection", "share", "summary"});
-  const auto& c = runner.nodes()[0].classification();
-  for (std::size_t j = 0; j < c.size(); ++j) {
-    result.add_row({static_cast<long long>(j), c.relative_weight(j),
-                    print_summary(c[j].summary)});
-  }
-  emit(config, result);
-  if (config.summary_line) {
-    // Machine-readable mirror of node 0's classification, comparable
-    // against a ddcnode cluster's RESULT lines (scripts/run_cluster.sh).
-    std::cout << ddc::tools::result_line(c, mean_of) << '\n';
-  }
-  if (config.timing) {
+  report_classification(tool, runner.nodes()[0].classification(),
+                        print_summary, mean_of);
+  if (tool.timing) {
     // Per-phase wall-clock, from the accumulating counters in the runner
     // (prepare/absorb), the classifier engine (partition) and the EM
     // policy (em; 0 for policies without an EM stage). partition_s and
@@ -189,28 +157,58 @@ int run_classifier(const Config& config, ddc::sim::RoundRunner<Node> runner,
       }
     }
     const auto& t = runner.timings();
-    std::cout << "\nTIMING prepare_s=" << t.prepare_seconds
-              << " absorb_s=" << t.absorb_seconds
-              << " partition_s=" << partition_s << " em_s=" << em_s << '\n';
+    report_timing(t.prepare_seconds, t.absorb_seconds, partition_s, em_s);
   }
-  flush_trace(config, trace);
+  flush_trace(tool, trace);
   return 0;
 }
 
-int run_push_sum(const Config& config,
+/// The --engine soa path: same progress table, classification report and
+/// TIMING line as run_classifier, with the streaming metrics replacing
+/// the materializing ones (no per-node vector ever exists).
+template <typename Policy, typename Engine, typename SummaryPrinter,
+          typename MeanFn>
+int run_scale(const ToolConfig& tool, Engine engine,
+              SummaryPrinter print_summary, MeanFn mean_of) {
+  ddc::io::Table progress({"round", "alive", "disagreement"}, 6);
+  for (std::size_t r = 0; r < tool.rounds; ++r) {
+    engine.run_round();
+    if ((r + 1) % tool.report_every == 0 || r + 1 == tool.rounds) {
+      progress.add_row(
+          {static_cast<long long>(r + 1),
+           static_cast<long long>(engine.alive_count()),
+           ddc::metrics::streaming_max_disagreement<Policy>(engine)});
+    }
+  }
+  emit(tool, progress);
+
+  report_classification(tool, engine.classification_of(0), print_summary,
+                        mean_of);
+  if (tool.timing) {
+    // Same TIMING contract as the object engine: partition_s/em_s are
+    // sums over the engine's scratch classifiers, which accumulate
+    // exactly one receive per node per delivery.
+    const auto& t = engine.timings();
+    report_timing(t.prepare_seconds, t.absorb_seconds,
+                  engine.partition_seconds(), engine.em_seconds());
+  }
+  return 0;
+}
+
+int run_push_sum(const ToolConfig& tool,
                  ddc::sim::RoundRunner<ddc::gossip::PushSumNode> runner,
                  const std::vector<Vector>& inputs) {
   ddc::sim::TraceRecorder trace;
-  if (!config.trace_path.empty()) runner.set_trace(&trace);
+  if (!tool.trace_path.empty()) runner.set_trace(&trace);
 
   // True average for reference.
   Vector truth(inputs.front().dim());
   for (const auto& v : inputs) truth += v / static_cast<double>(inputs.size());
 
   ddc::io::Table progress({"round", "alive", "max estimate error"}, 6);
-  for (std::size_t r = 0; r < config.rounds; ++r) {
+  for (std::size_t r = 0; r < tool.rounds; ++r) {
     runner.run_round();
-    if ((r + 1) % config.report_every == 0 || r + 1 == config.rounds) {
+    if ((r + 1) % tool.report_every == 0 || r + 1 == tool.rounds) {
       double worst = 0.0;
       for (std::size_t i = 0; i < inputs.size(); ++i) {
         if (!runner.alive(i)) continue;
@@ -221,11 +219,11 @@ int run_push_sum(const Config& config,
                         static_cast<long long>(runner.alive_count()), worst});
     }
   }
-  emit(config, progress);
+  emit(tool, progress);
   std::ostringstream estimate;
   estimate << runner.nodes()[0].estimate();
   std::cout << "\nnode 0's average estimate: " << estimate.str() << '\n';
-  flush_trace(config, trace);
+  flush_trace(tool, trace);
   return 0;
 }
 
@@ -254,103 +252,89 @@ int main(int argc, char** argv) {
                         "simulator (Eyal, Keidar & Rom, PODC 2010)");
   flags.declare("protocol", "gm | centroid | pushsum", "gm");
   flags.declare("workload", "clusters | fence | outliers | loads", "clusters");
-  flags.declare("topology",
-                "complete | ring | dring | line | star | grid | torus | "
-                "geometric | er",
-                "complete");
-  flags.declare("nodes", "number of nodes", "200");
-  flags.declare("k", "max collections per node", "2");
   flags.declare("rounds", "gossip rounds to run", "100");
   flags.declare("report-every", "progress row interval", "10");
-  flags.declare("threads",
-                "worker threads for the prepare/absorb phases (0 = one per "
-                "hardware thread); results are identical at any setting",
-                "1");
-  flags.declare("pattern", "push | pull | push-pull", "push");
   flags.declare("delta", "outlier distance (outliers workload)", "10");
-  flags.declare("crash-prob", "per-round crash probability", "0");
-  flags.declare("loss-prob", "per-message loss probability", "0");
-  flags.declare("seed", "RNG seed", "1");
-  flags.declare("quanta-exp", "weight quanta per unit = 2^this", "20");
   flags.declare("trace", "write an event trace CSV to this path", "");
-  flags.declare_bool("push-pull", "shorthand for --pattern push-pull");
-  flags.declare_bool("round-robin", "round-robin neighbor selection");
   flags.declare_bool("csv", "emit CSV instead of aligned tables");
   flags.declare_bool("summary-line",
                      "also print node 0's final classification as a "
                      "machine-readable RESULT line (gm/centroid)");
-  flags.declare_bool("timing",
-                     "print accumulated per-phase wall-clock (prepare / "
-                     "absorb / partition / em) after the run (gm/centroid)");
+  ddc::cli::declare_engine_flags(flags);
 
   try {
     if (!flags.parse(argc, argv)) {
       std::cout << flags.help_text();
       return 0;
     }
-    const Config config{
+    const ddc::sim::EngineConfig config = ddc::cli::parse_engine_config(flags);
+    const ToolConfig tool{
         flags.get("protocol"),
         flags.get("workload"),
-        flags.get("topology"),
-        static_cast<std::size_t>(flags.get_int("nodes")),
-        static_cast<std::size_t>(flags.get_int("k")),
         static_cast<std::size_t>(flags.get_int("rounds")),
         static_cast<std::size_t>(flags.get_int("report-every")),
-        static_cast<std::size_t>(flags.get_int("threads")),
         flags.get_double("delta"),
-        flags.get_double("crash-prob"),
-        flags.get_double("loss-prob"),
-        static_cast<std::uint64_t>(flags.get_int("seed")),
-        static_cast<int>(flags.get_int("quanta-exp")),
-        flags.get("pattern"),
-        flags.get_bool("push-pull"),
-        flags.get_bool("round-robin"),
         flags.get_bool("csv"),
         flags.get_bool("summary-line"),
-        flags.get_bool("timing"),
+        ddc::cli::timing_requested(flags),
         flags.get("trace"),
     };
-    if (flags.get_int("threads") < 0) {
-      throw ddc::ConfigError("--threads must be ≥ 0 (0 = one per hardware thread)");
+
+    // Workload inputs and the (possibly random) topology share one RNG
+    // seeded with --seed, in this order — unchanged since the first
+    // ddcsim so existing seeds reproduce bit-identically.
+    ddc::stats::Rng rng(config.protocol_seed);
+    const std::vector<Vector> inputs =
+        make_inputs(tool, config.topology.nodes, rng);
+    ddc::sim::Topology topology = config.build_topology(rng);
+
+    const bool scale = config.use_soa() &&
+                       (tool.protocol == "gm" || tool.protocol == "centroid");
+    if (scale && !tool.trace_path.empty()) {
+      throw ddc::ConfigError(
+          "--trace needs the object engine (pass --engine object)");
     }
-    if (config.nodes < 2) throw ddc::ConfigError("--nodes must be ≥ 2");
-    if (config.quanta_exp < 0 || config.quanta_exp > 62) {
-      throw ddc::ConfigError("--quanta-exp must be in [0, 62]");
-    }
 
-    ddc::stats::Rng rng(config.seed);
-    const std::vector<Vector> inputs = make_inputs(config, rng);
-    ddc::sim::Topology topology = make_topology(config, rng);
-
-    ddc::gossip::NetworkConfig net;
-    net.k = config.k;
-    net.quanta_per_unit = std::int64_t{1} << config.quanta_exp;
-    net.seed = config.seed;
-
-    if (config.protocol == "gm") {
+    if (tool.protocol == "gm") {
+      auto print = [](const ddc::stats::Gaussian& g) { return describe(g); };
+      auto mean = [](const ddc::stats::Gaussian& g) { return g.mean(); };
+      if (scale) {
+        return run_scale<ddc::summaries::GaussianPolicy>(
+            tool,
+            ddc::gossip::make_gm_scale_engine(std::move(topology), inputs,
+                                              config),
+            print, mean);
+      }
       return run_classifier<ddc::summaries::GaussianPolicy>(
-          config,
-          ddc::sim::make_gm_round_runner(std::move(topology), inputs, net,
-                                         runner_options(config)),
-          [](const ddc::stats::Gaussian& g) { return describe(g); },
-          [](const ddc::stats::Gaussian& g) { return g.mean(); });
+          tool,
+          ddc::sim::make_gm_round_runner(std::move(topology), inputs, config),
+          print, mean);
     }
-    if (config.protocol == "centroid") {
+    if (tool.protocol == "centroid") {
+      auto print = [](const Vector& v) { return describe(v); };
+      auto mean = [](const Vector& v) { return v; };
+      if (scale) {
+        return run_scale<ddc::summaries::CentroidPolicy>(
+            tool,
+            ddc::gossip::make_centroid_scale_engine(std::move(topology),
+                                                    inputs, config),
+            print, mean);
+      }
       return run_classifier<ddc::summaries::CentroidPolicy>(
-          config,
-          ddc::sim::make_centroid_round_runner(std::move(topology), inputs, net,
-                                               runner_options(config)),
-          [](const Vector& v) { return describe(v); },
-          [](const Vector& v) { return v; });
+          tool,
+          ddc::sim::make_centroid_round_runner(std::move(topology), inputs,
+                                               config),
+          print, mean);
     }
-    if (config.protocol == "pushsum") {
-      return run_push_sum(config,
+    if (tool.protocol == "pushsum") {
+      // Push-sum has no SoA protocol binding; it always runs on the
+      // object engine regardless of --engine.
+      return run_push_sum(tool,
                           ddc::sim::make_push_sum_round_runner(
-                              std::move(topology), inputs,
-                              runner_options(config)),
+                              std::move(topology), inputs, config),
                           inputs);
     }
-    throw ddc::ConfigError("unknown protocol '" + config.protocol + "'");
+    throw ddc::ConfigError("unknown protocol '" + tool.protocol + "'");
   } catch (const ddc::Error& e) {
     std::cerr << "ddcsim: " << e.what() << '\n';
     return 1;
