@@ -1,0 +1,152 @@
+// bench_cluster — throughput benchmark for the sharded cluster engine
+// over an in-process loopback fabric.
+//
+// One configuration per process invocation (clean getrusage peak-RSS),
+// printing exactly one JSON object line:
+//
+//   {"name":"centroid/grid/2048x4","shards":4,...,"rounds_per_s":...,
+//    "frames_per_round":...,"records_per_frame":...,"peak_rss_mb":...}
+//
+// frames_per_round and records_per_frame measure the batching the shard
+// exchange exists for: S*(S-1) frames per round regardless of message
+// volume, with every cross-shard message riding inside one of them.
+// scripts/bench_gate.sh --cluster compares fresh runs against the
+// committed baseline in BENCH_cluster.json.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include <ddc/cli/engine_flags.hpp>
+#include <ddc/shard/factories.hpp>
+#include <ddc/workload/scenarios.hpp>
+
+namespace {
+
+using ddc::linalg::Vector;
+
+/// Peak resident set of this process in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct Measurement {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t cut_edges = 0;
+  std::size_t rounds = 0;
+  double build_s = 0.0;
+  double run_s = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t records = 0;
+  std::uint64_t retransmits = 0;
+};
+
+template <typename MakeCluster>
+Measurement measure(std::size_t rounds, MakeCluster make_cluster) {
+  using Clock = std::chrono::steady_clock;
+  Measurement m;
+  const auto t0 = Clock::now();
+  auto cluster = make_cluster();
+  const auto t1 = Clock::now();
+  cluster.run_rounds(rounds);
+  const auto t2 = Clock::now();
+  m.rounds = rounds;
+  m.build_s = std::chrono::duration<double>(t1 - t0).count();
+  m.run_s = std::chrono::duration<double>(t2 - t1).count();
+  for (ddc::shard::ShardId s = 0; s < cluster.num_shards(); ++s) {
+    const auto& stats = cluster.engine(s).stats();
+    m.frames += stats.batch_frames_sent;
+    m.records += stats.batch_records_sent;
+    m.retransmits += stats.retransmits;
+  }
+  m.cut_edges = cluster.map().cut_edges(cluster.engine(0).topology());
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddc::cli::Flags flags("bench_cluster",
+                        "sharded-cluster throughput benchmark over loopback "
+                        "(one configuration per invocation, JSON output)");
+  flags.declare("protocol", "gm | centroid", "centroid");
+  flags.declare("rounds", "gossip rounds to time", "10");
+  flags.declare("shards", "number of shards sharing the loopback fabric", "4");
+  flags.declare("name", "label for the JSON record (default: derived)", "");
+  ddc::cli::EngineFlagSet set;
+  set.timing = false;
+  ddc::cli::declare_engine_flags(flags, {}, set);
+
+  try {
+    if (!flags.parse(argc, argv)) {
+      std::cout << flags.help_text();
+      return 0;
+    }
+    ddc::sim::EngineConfig config =
+        ddc::cli::parse_engine_config(flags, {}, set);
+    const std::string protocol = flags.get("protocol");
+    const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
+    const auto shards =
+        static_cast<ddc::shard::ShardId>(flags.get_int("shards"));
+
+    // Topology first: grid packing can round the vertex count up, and
+    // the cluster needs one input per vertex.
+    ddc::stats::Rng rng(config.protocol_seed);
+    ddc::sim::Topology topology = config.build_topology(rng);
+    const std::size_t n = topology.num_nodes();
+    const std::size_t edges = topology.num_edges();
+    const std::vector<Vector> inputs =
+        ddc::workload::two_clusters_inputs(n, rng);
+
+    Measurement m;
+    if (protocol == "centroid") {
+      m = measure(rounds, [&] {
+        return ddc::shard::make_centroid_shard_cluster(std::move(topology),
+                                                       inputs, config, shards);
+      });
+    } else if (protocol == "gm") {
+      m = measure(rounds, [&] {
+        return ddc::shard::make_gm_shard_cluster(std::move(topology), inputs,
+                                                 config, shards);
+      });
+    } else {
+      throw ddc::ConfigError("unknown protocol '" + protocol + "'");
+    }
+    m.nodes = n;
+    m.edges = edges;
+
+    std::string name = flags.get("name");
+    if (name.empty()) {
+      name = protocol + "/" +
+             ddc::sim::topology_family_name(config.topology.family) + "/" +
+             std::to_string(n) + "x" + std::to_string(shards);
+    }
+
+    const double frames_per_round =
+        static_cast<double>(m.frames) / static_cast<double>(m.rounds);
+    const double records_per_frame =
+        m.frames > 0
+            ? static_cast<double>(m.records) / static_cast<double>(m.frames)
+            : 0.0;
+    // One record per line; keys are stable for the awk in bench_gate.sh.
+    std::printf(
+        "{\"name\":\"%s\",\"shards\":%u,\"nodes\":%zu,\"edges\":%zu,"
+        "\"cut_edges\":%zu,\"rounds\":%zu,\"build_s\":%.4f,\"run_s\":%.4f,"
+        "\"rounds_per_s\":%.4f,\"frames_per_round\":%.1f,"
+        "\"records_per_frame\":%.2f,\"retransmits\":%llu,"
+        "\"peak_rss_mb\":%.1f}\n",
+        name.c_str(), static_cast<unsigned>(shards), m.nodes, m.edges,
+        m.cut_edges, m.rounds, m.build_s, m.run_s,
+        static_cast<double>(m.rounds) / m.run_s, frames_per_round,
+        records_per_frame,
+        static_cast<unsigned long long>(m.retransmits), peak_rss_mb());
+    return 0;
+  } catch (const ddc::Error& e) {
+    std::cerr << "bench_cluster: " << e.what() << '\n';
+    return 1;
+  }
+}

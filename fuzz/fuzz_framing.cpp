@@ -11,13 +11,16 @@
 //   * accepted frames round-trip: re-encoding the decoded fields must
 //     reproduce the input byte-for-byte (the envelope grammar is a
 //     bijection between valid byte strings and Frame values);
-//   * probe/probe_ack frames carry no payload (decoder contract).
+//   * probe/probe_ack frames carry no payload (decoder contract);
+//   * accepted batch payloads round-trip through decode_batch /
+//     encode_batch (canonical varints make the batch grammar a
+//     bijection too), and batch_ack payloads through decode_batch_ack.
 //
 // The harness ships a structure-aware custom mutator: instead of only
 // flipping bytes (which mostly yields bad-magic rejections), it decodes
 // the input — or falls back to a canonical envelope — mutates one field
-// of the *structured* form (kind, sender, seq, payload, truncation,
-// magic corruption, bit flip), and re-encodes. libFuzzer picks it up as
+// of the *structured* form (kind, sender, seq, payload, batch-payload
+// synthesis, truncation, magic corruption, bit flip), and re-encodes. libFuzzer picks it up as
 // LLVMFuzzerCustomMutator; the standalone driver finds it by weak
 // symbol and applies it to half of its iterations.
 #include <algorithm>
@@ -64,8 +67,40 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     fail("decode/encode round-trip",
          "re-encoded frame differs from accepted input");
   }
-  if (frame.kind != ddc::wire::FrameKind::gossip && !frame.payload.empty()) {
-    fail("probe payload contract", "non-gossip frame decoded with payload");
+  if ((frame.kind == ddc::wire::FrameKind::probe ||
+       frame.kind == ddc::wire::FrameKind::probe_ack) &&
+      !frame.payload.empty()) {
+    fail("probe payload contract", "probe frame decoded with payload");
+  }
+  if (frame.kind == ddc::wire::FrameKind::batch) {
+    ddc::wire::Batch batch;
+    try {
+      batch = ddc::wire::decode_batch(frame.payload);
+    } catch (const ddc::wire::DecodeError&) {
+      return 0;  // envelope fine, batch grammar rejected — expected path
+    }
+    const std::vector<std::byte> rebatch = ddc::wire::encode_batch(
+        batch.round, batch.shard, batch.num_shards, batch.records);
+    if (rebatch.size() != frame.payload.size() ||
+        (!rebatch.empty() && std::memcmp(rebatch.data(), frame.payload.data(),
+                                         rebatch.size()) != 0)) {
+      fail("batch round-trip",
+           "re-encoded batch differs from accepted payload");
+    }
+  }
+  if (frame.kind == ddc::wire::FrameKind::batch_ack) {
+    std::uint64_t acked = 0;
+    try {
+      acked = ddc::wire::decode_batch_ack(frame.payload);
+    } catch (const ddc::wire::DecodeError&) {
+      return 0;
+    }
+    const std::vector<std::byte> reack = ddc::wire::encode_batch_ack(acked);
+    if (reack.size() != frame.payload.size() ||
+        std::memcmp(reack.data(), frame.payload.data(), reack.size()) != 0) {
+      fail("batch_ack round-trip",
+           "re-encoded ack differs from accepted payload");
+    }
   }
   return 0;
 }
@@ -95,9 +130,9 @@ extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
   } catch (const ddc::wire::DecodeError&) {
   }
 
-  switch (ddc_fuzz::splitmix(state) % 7) {
+  switch (ddc_fuzz::splitmix(state) % 8) {
     case 0:  // kind, valid and invalid alike
-      kind = static_cast<FrameKind>(ddc_fuzz::splitmix(state) % 6);
+      kind = static_cast<FrameKind>(ddc_fuzz::splitmix(state) % 7);
       break;
     case 1:
       sender = static_cast<std::uint32_t>(ddc_fuzz::splitmix(state));
@@ -110,6 +145,34 @@ extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
       for (auto& b : payload) {
         b = static_cast<std::uint8_t>(ddc_fuzz::splitmix(state));
       }
+      break;
+    }
+    case 4: {  // synthesize a structurally valid batch payload
+      kind = FrameKind::batch;
+      const std::uint32_t num_shards =
+          1 + static_cast<std::uint32_t>(ddc_fuzz::splitmix(state) % 8);
+      const std::uint32_t shard =
+          static_cast<std::uint32_t>(ddc_fuzz::splitmix(state)) % num_shards;
+      const std::size_t num_records = ddc_fuzz::splitmix(state) % 5;
+      std::vector<std::vector<std::byte>> payloads(num_records);
+      std::vector<ddc::wire::BatchRecord> records;
+      records.reserve(num_records);
+      for (std::size_t r = 0; r < num_records; ++r) {
+        payloads[r].resize(ddc_fuzz::splitmix(state) % 12);
+        for (auto& b : payloads[r]) {
+          b = static_cast<std::byte>(ddc_fuzz::splitmix(state));
+        }
+        records.push_back(
+            {static_cast<std::uint32_t>(ddc_fuzz::splitmix(state) % 4096),
+             static_cast<std::uint32_t>(ddc_fuzz::splitmix(state) % 4096),
+             static_cast<ddc::wire::BatchTag>(ddc_fuzz::splitmix(state) % 2),
+             payloads[r]});
+      }
+      const std::vector<std::byte> batch = ddc::wire::encode_batch(
+          ddc_fuzz::splitmix(state) % 1024, shard, num_shards, records);
+      payload.assign(
+          reinterpret_cast<const std::uint8_t*>(batch.data()),
+          reinterpret_cast<const std::uint8_t*>(batch.data()) + batch.size());
       break;
     }
     default:

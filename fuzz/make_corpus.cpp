@@ -98,6 +98,40 @@ void make_framing(const std::filesystem::path& dir) {
   auto probe_payload = encode_frame(FrameKind::probe, 3, 1);
   probe_payload.push_back(std::byte{0x01});
   write_file(dir / "probe_with_payload.bin", probe_payload);
+
+  // Shard batch frames (PR 7): a populated batch, the empty barrier
+  // token, an ack, and malformed shapes for the batch-grammar rejection
+  // branches (truncation, huge record count, out-of-range shard id).
+  using ddc::wire::BatchRecord;
+  using ddc::wire::BatchTag;
+  const auto rec_payload = bytes_of({0x10, 0x20, 0x30});
+  const std::vector<BatchRecord> records = {
+      {5, 200, BatchTag::forward, rec_payload},
+      {200, 5, BatchTag::reply, payload},
+      {7, 8, BatchTag::forward, {}},
+  };
+  const auto batch = ddc::wire::encode_batch(12, 1, 4, records);
+  write_file(dir / "batch_records.bin",
+             encode_frame(FrameKind::batch, 1, 13, batch));
+  write_file(dir / "batch_barrier.bin",
+             encode_frame(FrameKind::batch, 0, 1,
+                          ddc::wire::encode_batch(3, 0, 2, {})));
+  write_file(dir / "batch_ack.bin",
+             encode_frame(FrameKind::batch_ack, 2, 4,
+                          ddc::wire::encode_batch_ack(3)));
+  auto batch_truncated = encode_frame(FrameKind::batch, 1, 13, batch);
+  batch_truncated.resize(batch_truncated.size() - 5);  // mid-record
+  write_file(dir / "batch_truncated_record.bin", batch_truncated);
+  // Record count claims 2^63 records — check_count must refuse.
+  auto huge_count = ddc::wire::encode_batch(12, 1, 4, {});
+  huge_count.resize(huge_count.size() - 1);  // drop the count varint (0)
+  for (int i = 0; i < 9; ++i) huge_count.push_back(std::byte{0xff});
+  huge_count.push_back(std::byte{0x7f});
+  write_file(dir / "batch_huge_count.bin",
+             encode_frame(FrameKind::batch, 1, 13, huge_count));
+  write_file(dir / "batch_shard_out_of_range.bin",
+             encode_frame(FrameKind::batch, 1, 13,
+                          ddc::wire::encode_batch(0, 9, 4, {})));
 }
 
 void make_classifier(const std::filesystem::path& dir) {

@@ -28,6 +28,10 @@
 #                                        # ("full" block; ~2 min)
 #   scripts/bench_gate.sh --scale-update # print fresh BENCH_scale.json
 #                                        # "gate"/"full" blocks
+#   scripts/bench_gate.sh --cluster        # sharded-cluster tier vs
+#                                          # BENCH_cluster.json
+#   scripts/bench_gate.sh --cluster-update # print a fresh
+#                                          # BENCH_cluster.json block
 #
 # Environment:
 #   BUILD_DIR      build tree holding bench/micro_ops (default: build;
@@ -49,10 +53,118 @@ case "${1:-}" in
   --scale) MODE=scale ;;
   --scale-full) MODE=scale-full ;;
   --scale-update) MODE=scale-update ;;
+  --cluster) MODE=cluster ;;
+  --cluster-update) MODE=cluster-update ;;
   "") ;;
-  *) echo "usage: $0 [--smoke|--update|--scale|--scale-full|--scale-update]" >&2
+  *) echo "usage: $0 [--smoke|--update|--scale|--scale-full|--scale-update|--cluster|--cluster-update]" >&2
      exit 2 ;;
 esac
+
+# ---------------------------------------------------------------------------
+# Sharded-cluster gate (--cluster / --cluster-update).
+#
+# One bench_cluster process per configuration (loopback fabric, S shard
+# engines in one process). Gates throughput and peak RSS like the scale
+# gate, plus the batching invariant: multi-shard entries whose baseline
+# packs more than one message per batch frame must keep doing so — a
+# frame-per-message regression defeats the point of the batch exchange.
+# ---------------------------------------------------------------------------
+if [[ "$MODE" == cluster* ]]; then
+  BASELINE=${BASELINE:-BENCH_cluster.json}
+  TOLERANCE=${DDC_BENCH_TOLERANCE:-0.5}
+
+  if [[ ! -x "$BUILD_DIR/bench/bench_cluster" ]]; then
+    cmake -B "$BUILD_DIR" -S . >/dev/null
+    cmake --build "$BUILD_DIR" --target bench_cluster -j "$(nproc)"
+  fi
+
+  # name|bench_cluster arguments. Keep in sync with BENCH_cluster.json.
+  CLUSTER_TIER=(
+    "centroid/grid/2048x4|--topology grid --nodes 2048 --shards 4 --rounds 50"
+    "centroid/grid/2048x1|--topology grid --nodes 2048 --shards 1 --rounds 50"
+    "centroid/ring/4096x8|--topology ring --nodes 4096 --shards 8 --rounds 30"
+    "gm/grid/256x4|--protocol gm --topology grid --nodes 256 --shards 4 --rounds 50"
+  )
+
+  # run_cluster_tier — emit "name rounds_per_s peak_rss_mb records_per_frame".
+  run_cluster_tier() {
+    local entry name args line
+    for entry in "$@"; do
+      name=${entry%%|*}
+      args=${entry#*|}
+      # shellcheck disable=SC2086
+      line=$("$BUILD_DIR/bench/bench_cluster" $args \
+               --threads 0 --seed 1 --name "$name")
+      echo "$line" | awk -F'[:,]' -v name="$name" '{
+        for (i = 1; i < NF; ++i) {
+          if ($i ~ /"rounds_per_s"/) rps = $(i + 1)
+          if ($i ~ /"records_per_frame"/) rpf = $(i + 1)
+          if ($i ~ /"peak_rss_mb"/) { rss = $(i + 1); gsub(/}/, "", rss) }
+        }
+        print name, rps, rss, rpf
+      }'
+    done
+  }
+
+  if [[ "$MODE" == cluster-update ]]; then
+    echo
+    echo "Fresh \"gate\" block for BENCH_cluster.json:"
+    echo "  \"gate\": {"
+    run_cluster_tier "${CLUSTER_TIER[@]}" | awk '{
+      printf "    \"%s\": {\"rounds_per_s\": %s, \"peak_rss_mb\": %s, \"records_per_frame\": %s},\n",
+             $1, $2, $3, $4
+    }' | sed '$ s/},$/}/'
+    echo "  }"
+    exit 0
+  fi
+
+  echo "bench_gate: cluster mode (tolerance=±$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}') vs $BASELINE)"
+  STATUS=0
+  while read -r name rps rss rpf; do
+    base_rps=""
+    base_rss=""
+    base_rpf=""
+    read -r base_rps base_rss base_rpf < <(awk -v key="\"$name\":" '
+      index($0, key) {
+        for (i = 1; i <= NF; ++i) {
+          if ($i ~ /"rounds_per_s"/) { v = $(i + 1); gsub(/[,}]/, "", v); r = v }
+          if ($i ~ /"peak_rss_mb"/) { v = $(i + 1); gsub(/[,}]/, "", v); m = v }
+          if ($i ~ /"records_per_frame"/) { v = $(i + 1); gsub(/[,}]/, "", v); f = v }
+        }
+        print r, m, f
+      }' "$BASELINE") || true
+    if [[ -z "${base_rps:-}" || -z "${base_rss:-}" ]]; then
+      echo "bench_gate: FAIL  $name missing from $BASELINE" >&2
+      STATUS=1
+      continue
+    fi
+    verdict=$(awk -v rps="$rps" -v rss="$rss" -v rpf="$rpf" \
+                  -v brps="$base_rps" -v brss="$base_rss" \
+                  -v brpf="${base_rpf:-0}" -v t="$TOLERANCE" 'BEGIN {
+      slow = rps < brps / (1 + t)
+      fat = rss > brss * (1 + t)
+      unbatched = brpf > 1 && rpf <= 1
+      printf "%s rps=%.3g(min %.3g) rss=%.4gMB(max %.4g) rpf=%.3g",
+             (slow || fat || unbatched ? "FAIL" : "ok"), rps, brps / (1 + t),
+             rss, brss * (1 + t), rpf
+    }')
+    if [[ "$verdict" == FAIL* ]]; then
+      echo "bench_gate: FAIL  $name  ${verdict#FAIL }" >&2
+      STATUS=1
+    else
+      echo "bench_gate: ok    $name  ${verdict#ok }"
+    fi
+  done < <(run_cluster_tier "${CLUSTER_TIER[@]}")
+
+  if [[ "$STATUS" -ne 0 ]]; then
+    echo "bench_gate: CLUSTER REGRESSION — throughput, memory or batching moved past tolerance." >&2
+    echo "bench_gate: if intentional and signed off, refresh BENCH_cluster.json with" >&2
+    echo "bench_gate: 'scripts/bench_gate.sh --cluster-update'." >&2
+    exit 1
+  fi
+  echo "bench_gate: sharded cluster within ±$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}') of $BASELINE."
+  exit 0
+fi
 
 # ---------------------------------------------------------------------------
 # Scale-engine gate (--scale / --scale-full / --scale-update).

@@ -19,7 +19,9 @@
 #   5. ASan+UBSan  the FULL ctest suite under AddressSanitizer +
 #                  UndefinedBehaviorSanitizer. Not just wire/net/io:
 #                  the partition/EM hot paths rewritten in PR 3 run
-#                  under ASan here too.
+#                  under ASan here too, as do the shard suite and the
+#                  multi-shard UDP smoke (cluster_multishard_smoke
+#                  drives sanitized ddcnode shard processes).
 #   6. bench gate  smoke-mode scripts/bench_gate.sh against
 #                  BENCH_hotpath.json, so a hot-path complexity
 #                  regression (say, an accidental return to the O(m³)
@@ -27,7 +29,9 @@
 #                  still passes; then the 10k-node scale tier against
 #                  BENCH_scale.json (throughput + peak RSS of the SoA
 #                  engine; the 100k/1M tiers are on-demand via
-#                  scripts/bench_gate.sh --scale-full).
+#                  scripts/bench_gate.sh --scale-full); then the
+#                  sharded-cluster tier against BENCH_cluster.json
+#                  (loopback throughput, RSS, records per batch frame).
 #   7. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
 #                  invariants via the ddc::audit pool auditors) replay
 #                  the committed corpus plus DDC_FUZZ_RUNS fresh
@@ -87,8 +91,8 @@ cmake -B "$ASAN_DIR" \
 cmake --build "$ASAN_DIR" -j "$(nproc)" --target \
   linalg_tests stats_tests core_tests summaries_tests em_tests \
   partition_tests exec_tests sim_tests gossip_tests wire_tests net_tests \
-  audit_tests metrics_tests workload_tests io_tests cli_tests \
-  integration_tests ddcsim
+  shard_tests audit_tests metrics_tests workload_tests io_tests cli_tests \
+  integration_tests ddcsim ddcnode
 
 # halt_on_error so UBSan findings fail the gate instead of scrolling by.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -111,6 +115,12 @@ echo "Bench gate passed: hot-path kernels within tolerance of BENCH_hotpath.json
 scripts/bench_gate.sh --scale
 
 echo "Scale gate passed: 10k-node tier within tolerance of BENCH_scale.json."
+
+# Sharded-cluster tier: loopback-fabric throughput/RSS plus the
+# records-per-frame batching invariant vs BENCH_cluster.json.
+scripts/bench_gate.sh --cluster
+
+echo "Cluster gate passed: sharded tier within tolerance of BENCH_cluster.json."
 
 echo
 echo "=== gate 7/7: fuzz smoke ==="

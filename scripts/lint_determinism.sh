@@ -43,6 +43,7 @@ fi
   src/sim \
   src/gossip \
   src/wire \
+  src/shard \
   src/audit
 
 echo "Determinism lint passed."

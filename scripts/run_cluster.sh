@@ -8,18 +8,28 @@
 #   scripts/run_cluster.sh --nodes 6 --protocol centroid --loss 0.1
 #   scripts/run_cluster.sh --nodes 8 --kill 3        # kill node 3 mid-run
 #
+# Shard mode runs S ddcnode shard processes, each hosting M simulated
+# nodes (S*M nodes total, batched cross-shard traffic, one UDP frame per
+# peer shard per round). A healthy shard run must match ddcsim exactly.
+#
+#   scripts/run_cluster.sh --shards 4 --nodes-per-shard 1000
+#   scripts/run_cluster.sh --shards 4 --nodes-per-shard 1000 --kill-shard 2
+#
 # Exit status 0 iff the cluster converged and matches the simulator.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 NODES=8
 PROTOCOL=gm
-BASE_PORT=$(( 9800 + (RANDOM % 500) * 16 ))
+BASE_PORT=""
 SEED=1
 ROUNDS=60
 TICK_MS=20
 LOSS=0
 KILL_ID=""
+SHARDS=0
+NODES_PER_SHARD=0
+KILL_SHARD=""
 BUILD_DIR=build
 # Numeric tolerances for the cross-checks. Weights drift by the residual
 # gossip imbalance; means sit on well-separated clusters (0 vs 25), so
@@ -27,23 +37,39 @@ BUILD_DIR=build
 WEIGHT_TOL=0.05
 MEAN_TOL=1.0
 
-usage() { sed -n '2,10p' "$0"; exit "${1:-0}"; }
+usage() { sed -n '2,17p' "$0"; exit "${1:-0}"; }
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
-    --nodes)     NODES=$2; shift 2 ;;
-    --protocol)  PROTOCOL=$2; shift 2 ;;
-    --base-port) BASE_PORT=$2; shift 2 ;;
-    --seed)      SEED=$2; shift 2 ;;
-    --rounds)    ROUNDS=$2; shift 2 ;;
-    --tick-ms)   TICK_MS=$2; shift 2 ;;
-    --loss)      LOSS=$2; shift 2 ;;
-    --kill)      KILL_ID=$2; shift 2 ;;
-    --build-dir) BUILD_DIR=$2; shift 2 ;;
-    -h|--help)   usage ;;
+    --nodes)           NODES=$2; shift 2 ;;
+    --protocol)        PROTOCOL=$2; shift 2 ;;
+    --base-port)       BASE_PORT=$2; shift 2 ;;
+    --seed)            SEED=$2; shift 2 ;;
+    --rounds)          ROUNDS=$2; shift 2 ;;
+    --tick-ms)         TICK_MS=$2; shift 2 ;;
+    --loss)            LOSS=$2; shift 2 ;;
+    --kill)            KILL_ID=$2; shift 2 ;;
+    --shards)          SHARDS=$2; shift 2 ;;
+    --nodes-per-shard) NODES_PER_SHARD=$2; shift 2 ;;
+    --kill-shard)      KILL_SHARD=$2; shift 2 ;;
+    --build-dir)       BUILD_DIR=$2; shift 2 ;;
+    -h|--help)         usage ;;
     *) echo "run_cluster.sh: unknown argument '$1'" >&2; usage 1 ;;
   esac
 done
+
+if [[ "$SHARDS" -gt 0 && "$NODES_PER_SHARD" -le 0 ]]; then
+  echo "run_cluster.sh: --shards needs --nodes-per-shard" >&2
+  exit 1
+fi
+
+# Port base: seed-derived, not $RANDOM, so two runs on the same seed pick
+# the same range (reproducible) while different seeds spread across the
+# ephemeral space instead of colliding on a fixed constant. A run that
+# still lands on occupied ports is retried on a shifted base below.
+if [[ -z "$BASE_PORT" ]]; then
+  BASE_PORT=$(( 9800 + (SEED * 7919 % 500) * 16 ))
+fi
 
 DDCNODE="$BUILD_DIR/tools/ddcnode"
 DDCSIM="$BUILD_DIR/tools/ddcsim"
@@ -57,18 +83,64 @@ done
 WORK_DIR=$(mktemp -d)
 trap 'jobs -p | xargs -r kill 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$WORK_DIR"' EXIT
 
-echo "cluster: $NODES x ddcnode ($PROTOCOL) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_ID:+, killing node $KILL_ID mid-run}"
-
 declare -a PIDS
-for (( i = 0; i < NODES; i++ )); do
-  "$DDCNODE" --id "$i" --nodes "$NODES" --base-port "$BASE_PORT" \
-    --protocol "$PROTOCOL" --seed "$SEED" --rounds "$ROUNDS" \
-    --tick-ms "$TICK_MS" --loss-prob "$LOSS" \
-    > "$WORK_DIR/node$i.out" 2> "$WORK_DIR/node$i.err" &
+
+# launch_member <index> — one cluster process (node or shard) writing to
+# $WORK_DIR/node<index>.{out,err}, pid recorded in PIDS[index].
+launch_member() {
+  local i=$1
+  if [[ "$SHARDS" -gt 0 ]]; then
+    "$DDCNODE" --shard-id "$i" --num-shards "$SHARDS" \
+      --nodes-per-shard "$NODES_PER_SHARD" --base-port "$BASE_PORT" \
+      --protocol "$PROTOCOL" --seed "$SEED" --rounds "$ROUNDS" \
+      --loss-prob "$LOSS" --stats-json \
+      > "$WORK_DIR/node$i.out" 2> "$WORK_DIR/node$i.err" &
+  else
+    "$DDCNODE" --id "$i" --nodes "$NODES" --base-port "$BASE_PORT" \
+      --protocol "$PROTOCOL" --seed "$SEED" --rounds "$ROUNDS" \
+      --tick-ms "$TICK_MS" --loss-prob "$LOSS" --stats-json \
+      > "$WORK_DIR/node$i.out" 2> "$WORK_DIR/node$i.err" &
+  fi
   PIDS[i]=$!
+}
+
+MEMBERS=$NODES
+[[ "$SHARDS" -gt 0 ]] && MEMBERS=$SHARDS
+
+# Launch with bind-failure retry: if any member cannot bind its port
+# (stale process, overlapping CI job), kill the attempt and shift the
+# whole cluster to a fresh port range.
+for attempt in 1 2 3 4 5; do
+  for (( i = 0; i < MEMBERS; i++ )); do
+    launch_member "$i"
+  done
+  sleep 0.4
+  BIND_FAILED=0
+  for (( i = 0; i < MEMBERS; i++ )); do
+    if ! kill -0 "${PIDS[i]}" 2>/dev/null \
+        && grep -q "cannot bind" "$WORK_DIR/node$i.err" 2>/dev/null; then
+      BIND_FAILED=1
+    fi
+  done
+  [[ "$BIND_FAILED" == 0 ]] && break
+  echo "port range $BASE_PORT+ busy (attempt $attempt); retrying" >&2
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  BASE_PORT=$(( BASE_PORT + 8192 ))
+  if [[ "$BASE_PORT" -gt 57000 ]]; then BASE_PORT=$(( BASE_PORT - 47000 )); fi
+  if [[ "$attempt" == 5 ]]; then
+    echo "run_cluster.sh: no free port range found" >&2
+    exit 1
+  fi
 done
 
-if [[ -n "$KILL_ID" ]]; then
+if [[ "$SHARDS" -gt 0 ]]; then
+  echo "cluster: $SHARDS shards x $NODES_PER_SHARD nodes ($PROTOCOL) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_SHARD:+, kill+restart shard $KILL_SHARD}"
+else
+  echo "cluster: $NODES x ddcnode ($PROTOCOL) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_ID:+, killing node $KILL_ID mid-run}"
+fi
+
+if [[ -n "$KILL_ID" && "$SHARDS" == 0 ]]; then
   # Let the cluster mix first, then take the node down hard; the
   # survivors' probe-based failure detectors must route around it.
   sleep "$(awk "BEGIN { print $ROUNDS * $TICK_MS / 1000.0 / 3 }")"
@@ -76,40 +148,61 @@ if [[ -n "$KILL_ID" ]]; then
   echo "killed node $KILL_ID (pid ${PIDS[KILL_ID]})"
 fi
 
+if [[ -n "$KILL_SHARD" && "$SHARDS" -gt 0 ]]; then
+  # Kill a whole shard mid-exchange (past the start barrier, into the
+  # round loop), then restart it: the survivors must time the dead shard
+  # out and keep rounding; the restarted process replays its rounds from
+  # scratch, catches up through the survivors' buffered batches, and
+  # rejoins the exchange.
+  sleep 4
+  kill -9 "${PIDS[KILL_SHARD]}" 2>/dev/null || true
+  echo "killed shard $KILL_SHARD (pid ${PIDS[KILL_SHARD]})"
+  sleep 1.5
+  launch_member "$KILL_SHARD"
+  echo "restarted shard $KILL_SHARD (pid ${PIDS[KILL_SHARD]})"
+fi
+
 FAILED=0
-for (( i = 0; i < NODES; i++ )); do
-  if [[ -n "$KILL_ID" && "$i" == "$KILL_ID" ]]; then
+for (( i = 0; i < MEMBERS; i++ )); do
+  if [[ "$SHARDS" == 0 && -n "$KILL_ID" && "$i" == "$KILL_ID" ]]; then
     wait "${PIDS[i]}" 2>/dev/null || true
     continue
   fi
   if ! wait "${PIDS[i]}"; then
-    echo "node $i exited non-zero:" >&2
+    echo "member $i exited non-zero:" >&2
     cat "$WORK_DIR/node$i.err" >&2
     FAILED=1
   fi
 done
 [[ "$FAILED" == 0 ]] || exit 1
 
-# Collect RESULT lines from every surviving node.
+# Collect RESULT lines from every surviving member.
 : > "$WORK_DIR/results"
-for (( i = 0; i < NODES; i++ )); do
-  [[ -n "$KILL_ID" && "$i" == "$KILL_ID" ]] && continue
+for (( i = 0; i < MEMBERS; i++ )); do
+  [[ "$SHARDS" == 0 && -n "$KILL_ID" && "$i" == "$KILL_ID" ]] && continue
   line=$(grep '^RESULT ' "$WORK_DIR/node$i.out" || true)
   if [[ -z "$line" ]]; then
-    echo "node $i produced no RESULT line:" >&2
+    echo "member $i produced no RESULT line:" >&2
     cat "$WORK_DIR/node$i.err" >&2
     exit 1
   fi
-  echo "node $i: $line"
+  echo "member $i: $line"
   echo "$line" >> "$WORK_DIR/results"
 done
 
-# The simulator's answer on the identical workload and seed, with the
-# same channel-loss rate (different draws, so weights only match
-# statistically — hence WEIGHT_TOL).
+# The simulator's answer on the identical workload and seed. Shard mode
+# replays the simulator's round protocol exactly, so it compares against
+# a lossless simulator run (transport loss is absorbed by retransmits);
+# the async single-node mode passes the loss rate through.
+SIM_NODES=$NODES
+SIM_LOSS=$LOSS
+if [[ "$SHARDS" -gt 0 ]]; then
+  SIM_NODES=$(( SHARDS * NODES_PER_SHARD ))
+  SIM_LOSS=0
+fi
 SIM_LINE=$("$DDCSIM" --protocol "$PROTOCOL" --workload clusters \
-  --nodes "$NODES" --rounds "$ROUNDS" --seed "$SEED" --loss-prob "$LOSS" \
-  --summary-line | grep '^RESULT ')
+  --nodes "$SIM_NODES" --rounds "$ROUNDS" --seed "$SEED" \
+  --loss-prob "$SIM_LOSS" --summary-line | grep '^RESULT ')
 echo "ddcsim: $SIM_LINE"
 
 # compare_results <reference-line> <file-of-lines> <weight-tol> <mean-tol>
@@ -146,20 +239,59 @@ compare_results() {
   ' "$2"
 }
 
-# Node-vs-node agreement: summaries must match to RESULT precision;
+# Member-vs-member agreement: summaries must match to RESULT precision;
 # relative weights carry the residual mixing imbalance, which grows when
-# the channel destroys weight.
+# the channel destroys weight or a shard missed rounds.
 NODE_WEIGHT_TOL=$(awk "BEGIN { print ($LOSS > 0) ? 0.01 : 1e-4 }")
+NODE_MEAN_TOL=1e-4
+if [[ -n "$KILL_SHARD" ]]; then
+  NODE_WEIGHT_TOL=$WEIGHT_TOL
+  NODE_MEAN_TOL=$MEAN_TOL
+fi
 REFERENCE=$(head -1 "$WORK_DIR/results")
 echo
-if ! compare_results "$REFERENCE" "$WORK_DIR/results" "$NODE_WEIGHT_TOL" 1e-4; then
-  echo "FAIL: nodes disagree on the final classification" >&2
+if ! compare_results "$REFERENCE" "$WORK_DIR/results" "$NODE_WEIGHT_TOL" "$NODE_MEAN_TOL"; then
+  echo "FAIL: members disagree on the final classification" >&2
   exit 1
 fi
-echo "OK: all $(wc -l < "$WORK_DIR/results") surviving nodes agree"
+echo "OK: all $(wc -l < "$WORK_DIR/results") surviving members agree"
+
+if [[ "$SHARDS" -gt 0 && -z "$KILL_SHARD" ]]; then
+  # Healthy shard runs replay ddcsim's protocol bit for bit: shard 0
+  # reports global node 0, the same node ddcsim's summary line reports,
+  # so the two lines must be identical strings.
+  SHARD0_LINE=$(grep '^RESULT ' "$WORK_DIR/node0.out")
+  if [[ "$SHARD0_LINE" != "$SIM_LINE" ]]; then
+    echo "FAIL: shard 0 RESULT differs from ddcsim (expected exact match)" >&2
+    echo "  shard 0: $SHARD0_LINE" >&2
+    echo "  ddcsim:  $SIM_LINE" >&2
+    exit 1
+  fi
+  echo "OK: shard 0 matches ddcsim exactly"
+fi
 
 if ! compare_results "$SIM_LINE" "$WORK_DIR/results" "$WEIGHT_TOL" "$MEAN_TOL"; then
   echo "FAIL: cluster result does not match the in-process simulator" >&2
   exit 1
 fi
 echo "OK: cluster matches ddcsim (weights ±$WEIGHT_TOL, means ±$MEAN_TOL)"
+
+if [[ "$SHARDS" -gt 1 ]]; then
+  # Batching efficiency: the whole point of the batch frame is packing
+  # many cross-shard messages into one datagram. Assert the mean number
+  # of records per sent batch frame exceeds 1 on every shard that ran
+  # the full exchange.
+  for (( i = 0; i < SHARDS; i++ )); do
+    rpf=$(grep -o '"records_per_frame":[0-9.]*' "$WORK_DIR/node$i.out" \
+          | head -1 | cut -d: -f2)
+    if [[ -z "$rpf" ]]; then
+      echo "FAIL: shard $i printed no stats-json records_per_frame" >&2
+      exit 1
+    fi
+    if ! awk "BEGIN { exit !($rpf > 1.0) }"; then
+      echo "FAIL: shard $i mean records/frame = $rpf (want > 1)" >&2
+      exit 1
+    fi
+  done
+  echo "OK: batched exchange packs > 1 message per frame on every shard"
+fi

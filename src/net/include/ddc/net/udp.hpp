@@ -16,8 +16,8 @@
 // crash-recovery-free but silence-tolerant model.
 //
 // Probe and probe-ack frames (wire::FrameKind) are handled inside the
-// transport; receive() surfaces only gossip frames, still wrapped in
-// their full envelope.
+// transport; receive() surfaces only gossip, batch and batch_ack
+// frames, still wrapped in their full envelope.
 #pragma once
 
 #include <chrono>

@@ -179,6 +179,8 @@ std::vector<Packet> UdpTransport::receive() {
       case wire::FrameKind::probe_ack:
         break;  // note_heard above is the whole effect
       case wire::FrameKind::gossip:
+      case wire::FrameKind::batch:
+      case wire::FrameKind::batch_ack:
         out.push_back({from, std::move(bytes)});
         break;
     }

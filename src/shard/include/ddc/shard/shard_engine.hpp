@@ -1,0 +1,684 @@
+// Sharded cluster engine: thousands of nodes per process, batched
+// cross-shard gossip over Transport.
+//
+// A ShardEngine is one process's slice of a round-based simulation. The
+// global Topology is split into contiguous ranges by a ShardMap; this
+// engine owns the node objects of ONE range, replays the round phases of
+// sim::RoundRunner for its range, and exchanges the messages that cross
+// a shard boundary through a net::Transport — all of one round's
+// cross-shard messages to a given peer packed into a single
+// wire::FrameKind::batch frame (encode_batch), acknowledged and
+// retransmitted until delivered, with one batch per peer per round
+// acting as the round barrier (an empty batch is the barrier token).
+//
+// Determinism: a 1-shard run, an S-shard loopback run and an S-process
+// UDP run of the same EngineConfig produce bit-identical node states.
+// The argument (DESIGN.md "Sharded cluster engine"):
+//
+//  * Every environment draw (neighbor selection, crash bernoullis) is
+//    replayed IDENTICALLY on every shard: each engine carries the full
+//    global alive vector and selector state and walks all n nodes in
+//    the plan/crash phases, consuming exactly RoundRunner's draws. The
+//    alive vector evolves as a pure function of the seed, so replicas
+//    never diverge.
+//  * Node-local randomness derives from the protocol seed by GLOBAL
+//    node id (gossip::make_*_nodes discipline), so a node's stream does
+//    not depend on which shard hosts it.
+//  * Channel loss cannot use RoundRunner's sequential loss stream (its
+//    draw count depends on message emptiness, which is unknowable for
+//    remote senders), so the engine derives a STATELESS per-message
+//    verdict from (loss seed, round, initiator, direction). Lossy runs
+//    are therefore bit-identical across shard counts, but sample a
+//    different (equally distributed) loss pattern than RoundRunner;
+//    lossless runs match RoundRunner exactly.
+//
+// The engine is stepped — begin_round() sends, try_complete_round()
+// polls — so a single thread can drive S in-process engines (see
+// ShardCluster); run_round() wraps the two for one-engine-per-process
+// drivers like ddcnode. All exchange pacing is poll-counted, never
+// wall-clock, to keep the deterministic core clock-free.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/exec/parallel_for.hpp>
+#include <ddc/exec/thread_pool.hpp>
+#include <ddc/net/transport.hpp>
+#include <ddc/shard/shard_map.hpp>
+#include <ddc/sim/gossip_node.hpp>
+#include <ddc/sim/neighbor_selection.hpp>
+#include <ddc/sim/topology.hpp>
+#include <ddc/stats/rng.hpp>
+#include <ddc/wire/framing.hpp>
+
+namespace ddc::shard {
+
+/// Configuration of a shard engine. The simulation fields mirror
+/// RoundRunnerOptions; the exchange fields pace the batch protocol in
+/// transport polls (poll = one try_complete_round() that did not finish
+/// the round).
+struct ShardEngineOptions : sim::CommonRunnerOptions {
+  double crash_probability = 0.0;
+  sim::CrashSendPolicy crash_send_policy = sim::CrashSendPolicy::avoid_crashed;
+  /// Per-message loss verdicts are hashed from (seed, round, initiator,
+  /// direction) — see the determinism note in the header comment.
+  double message_loss_probability = 0.0;
+  /// Worker threads for the owned range's prepare/absorb phases
+  /// (1 sequential, 0 hardware concurrency; bit-identical either way).
+  std::size_t parallelism = 1;
+  /// Unacked batches are retransmitted every this many polls.
+  std::size_t resend_interval_polls = 64;
+  /// After this many polls without a peer's batch or ack, the whole peer
+  /// shard is declared dead and the round proceeds without it. 0 waits
+  /// forever (in-process clusters, where a missing frame is a bug).
+  std::size_t max_exchange_polls = 0;
+  /// Called by run_round() between unsuccessful polls — the driver's
+  /// pump (LoopbackNetwork::advance, UdpTransport::maintain + sleep).
+  std::function<void()> idle;
+};
+
+/// Counters of the batch exchange, for soak assertions and benchmarks.
+struct ShardEngineStats {
+  std::uint64_t batch_frames_sent = 0;
+  std::uint64_t batch_records_sent = 0;
+  std::uint64_t batch_frames_received = 0;
+  std::uint64_t batch_records_received = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t peer_timeouts = 0;
+  /// Records that did not match the local replay of the global plan
+  /// (only possible after a peer restarted from scratch).
+  std::uint64_t unplanned_records = 0;
+};
+
+/// One process's shard of a round-based gossip simulation. `Codec`
+/// encodes Node::Message payloads for the wire (net/codec.hpp shapes).
+template <sim::GossipNode Node, typename Codec>
+class ShardEngine {
+ public:
+  using Message = typename Node::Message;
+
+  /// Takes ownership of shard `shard_id`'s node objects (`owned_nodes`
+  /// must hold map.size(shard_id) nodes, global ids map.begin(shard_id)
+  /// onward). `transport` is borrowed, must outlive the engine, and may
+  /// be null only for a 1-shard map; its peer ids are shard ids.
+  ShardEngine(sim::Topology topology, ShardMap map, ShardId shard_id,
+              std::vector<Node> owned_nodes, net::Transport* transport,
+              ShardEngineOptions options = {})
+      : topology_(std::move(topology)),
+        map_(map),
+        shard_(shard_id),
+        nodes_(std::move(owned_nodes)),
+        options_(std::move(options)),
+        env_rng_(stats::Rng::derive(options_.seed, 0x524e445255ULL)),
+        loss_seed_(stats::derive_seed(options_.seed, 0x4c4f5353ULL)),
+        transport_(transport),
+        alive_(map_.num_nodes(), true),
+        selector_(options_.selection, map_.num_nodes()),
+        targets_(map_.num_nodes()),
+        reply_requests_(map_.num_nodes()),
+        replies_(map_.num_nodes()),
+        outbox_(nodes_.size()),
+        inbox_(nodes_.size()),
+        peers_(map_.num_shards()) {
+    DDC_EXPECTS(shard_ < map_.num_shards());
+    DDC_EXPECTS(topology_.num_nodes() == map_.num_nodes());
+    DDC_EXPECTS(nodes_.size() == map_.size(shard_));
+    DDC_EXPECTS(map_.num_shards() == 1 ||
+                (transport_ != nullptr &&
+                 transport_->num_peers() == map_.num_shards() &&
+                 transport_->self() == shard_));
+    DDC_EXPECTS(options_.crash_probability >= 0.0 &&
+                options_.crash_probability <= 1.0);
+    DDC_EXPECTS(options_.message_loss_probability >= 0.0 &&
+                options_.message_loss_probability <= 1.0);
+    const std::size_t threads = options_.parallelism == 0
+                                    ? exec::ThreadPool::hardware_threads()
+                                    : options_.parallelism;
+    if (threads > 1) {
+      pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
+    }
+  }
+
+  /// Plans the round (global replay), prepares the owned range and ships
+  /// this round's batch to every peer. Follow with try_complete_round().
+  void begin_round() {
+    DDC_EXPECTS(!round_open_);
+    plan_targets();
+    prepare_messages();
+    send_batches();
+    polls_this_round_ = 0;
+    round_open_ = true;
+  }
+
+  /// Polls the transport once; when every peer's round batch has arrived
+  /// (or the peer timed out / moved ahead) and every own batch is acked,
+  /// finishes the round (deliver, absorb, crash draws) and returns true.
+  [[nodiscard]] bool try_complete_round() {
+    DDC_EXPECTS(round_open_);
+    if (map_.num_shards() > 1) {
+      pump_transport();
+      if (!barrier_reached()) {
+        ++polls_this_round_;
+        maybe_retransmit();
+        maybe_expire_peers();
+        if (!barrier_reached()) return false;
+      }
+    }
+    deliver_messages();
+    absorb_inboxes();
+    apply_crashes();
+    // Retire this round's exchange state BEFORE advancing the round
+    // counter, so batches for the next round arriving early (via
+    // service() between rounds, or the next round's polls) land in a
+    // clean slot instead of being mistaken for stale state.
+    for (PeerState& peer : peers_) {
+      peer.records.clear();
+      peer.got_batch = false;
+      peer.acked = false;
+    }
+    ++round_;
+    round_open_ = false;
+    return true;
+  }
+
+  /// Services the exchange without advancing the round: drains the
+  /// transport, re-acks retransmitted batches and buffers early ones.
+  /// Call between rounds (and after the last round, so slower peers
+  /// blocked on this shard's acks can finish — see ShardCluster).
+  void service() {
+    if (map_.num_shards() > 1) pump_transport();
+  }
+
+  /// Blocking round: begin + poll (calling options.idle between polls)
+  /// until the barrier resolves. With max_exchange_polls > 0 this always
+  /// terminates — silent peers get declared dead.
+  void run_round() {
+    begin_round();
+    while (!try_complete_round()) {
+      if (options_.idle) options_.idle();
+    }
+  }
+
+  void run_rounds(std::size_t count) {
+    for (std::size_t r = 0; r < count; ++r) run_round();
+  }
+
+  [[nodiscard]] std::size_t round() const noexcept { return round_; }
+  [[nodiscard]] ShardId shard_id() const noexcept { return shard_; }
+  [[nodiscard]] const ShardMap& map() const noexcept { return map_; }
+  [[nodiscard]] const sim::Topology& topology() const noexcept {
+    return topology_;
+  }
+  /// The owned node objects, local index = global id - map().begin(s).
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] std::vector<Node>& nodes() noexcept { return nodes_; }
+  [[nodiscard]] const ShardEngineStats& stats() const noexcept {
+    return stats_;
+  }
+
+  [[nodiscard]] bool alive(sim::NodeId i) const {
+    DDC_EXPECTS(i < alive_.size());
+    return alive_[i];
+  }
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    std::size_t count = 0;
+    for (const bool a : alive_) count += a ? 1 : 0;
+    return count;
+  }
+  /// False once `s` timed out of the barrier (cleared if it resurfaces).
+  [[nodiscard]] bool peer_shard_alive(ShardId s) const {
+    DDC_EXPECTS(s < peers_.size());
+    return !peers_[s].dead;
+  }
+
+ private:
+  /// One logical message captured off the wire, owning its payload.
+  struct StoredRecord {
+    sim::NodeId src = 0;
+    sim::NodeId dst = 0;
+    wire::BatchTag tag = wire::BatchTag::forward;
+    std::vector<std::byte> payload;
+    bool consumed = false;
+  };
+
+  /// Exchange state for one peer shard.
+  struct PeerState {
+    std::vector<std::byte> sent_frame;  // this round's batch, for resend
+    bool acked = false;
+    bool got_batch = false;
+    std::vector<StoredRecord> records;
+    /// One-round-ahead buffer: a lockstep peer can be at most one round
+    /// ahead of us, and its next batch may arrive while we still wait
+    /// for a slower peer.
+    std::optional<std::uint64_t> future_round;
+    std::vector<StoredRecord> future_records;
+    std::size_t silent_polls = 0;
+    bool dead = false;
+  };
+
+  [[nodiscard]] bool sends_data() const noexcept {
+    return options_.pattern != sim::GossipPattern::pull;
+  }
+  [[nodiscard]] bool wants_reply() const noexcept {
+    return options_.pattern != sim::GossipPattern::push;
+  }
+  [[nodiscard]] bool owns(sim::NodeId i) const {
+    return map_.shard_of(i) == shard_;
+  }
+  [[nodiscard]] std::size_t local(sim::NodeId i) const {
+    return i - map_.begin(shard_);
+  }
+
+  /// Stateless per-message loss verdict — identical on every shard by
+  /// construction, because it depends only on global quantities. The
+  /// initiator/direction pair names the message uniquely within a round
+  /// (one forward and at most one reply per initiator).
+  [[nodiscard]] bool channel_drops(sim::NodeId initiator,
+                                   wire::BatchTag tag) const {
+    if (options_.message_loss_probability <= 0.0) return false;
+    const std::uint64_t salt = stats::derive_seed(
+        round_ * 2 + static_cast<std::uint64_t>(tag), initiator);
+    stats::Rng draw = stats::Rng::derive(loss_seed_, salt);
+    return draw.bernoulli(options_.message_loss_probability);
+  }
+
+  /// Phase 1 — RoundRunner::plan_targets, replayed over ALL n nodes so
+  /// every shard consumes the identical environment draws.
+  void plan_targets() {
+    const bool replies = wants_reply();
+    const std::size_t n = map_.num_nodes();
+    for (sim::NodeId i = 0; i < n; ++i) {
+      targets_[i].reset();
+      if (replies) reply_requests_[i].clear();
+    }
+    for (sim::NodeId i = 0; i < n; ++i) {
+      if (!alive_[i]) continue;
+      const bool avoid =
+          options_.crash_send_policy == sim::CrashSendPolicy::avoid_crashed;
+      targets_[i] = selector_.pick(topology_, i, alive_, avoid, env_rng_);
+      if (replies && targets_[i] && alive_[*targets_[i]]) {
+        reply_requests_[*targets_[i]].push_back(i);
+      }
+    }
+  }
+
+  /// Phase 2 — RoundRunner::prepare_messages restricted to the owned
+  /// range. reply_requests_ is global, so an owned responder interleaves
+  /// its own send between lower- and higher-indexed initiators exactly
+  /// as the monolithic engine would, remote initiators included.
+  void prepare_messages() {
+    const bool sends = sends_data();
+    const bool replies = wants_reply();
+    const sim::NodeId base = map_.begin(shard_);
+    const std::size_t n = map_.num_nodes();
+    for (sim::NodeId i = 0; i < n; ++i) replies_[i].reset();
+    for (std::size_t j = 0; j < nodes_.size(); ++j) outbox_[j].reset();
+    exec::parallel_for(pool_.get(), nodes_.size(), [&](std::size_t j) {
+      const sim::NodeId g = base + j;
+      if (replies) {
+        const std::vector<sim::NodeId>& requests = reply_requests_[g];
+        std::size_t r = 0;
+        for (; r < requests.size() && requests[r] < g; ++r) {
+          replies_[requests[r]] = nodes_[j].prepare_message();
+        }
+        if (sends && targets_[g]) outbox_[j] = nodes_[j].prepare_message();
+        for (; r < requests.size(); ++r) {
+          replies_[requests[r]] = nodes_[j].prepare_message();
+        }
+      } else if (targets_[g]) {
+        outbox_[j] = nodes_[j].prepare_message();
+      }
+    });
+  }
+
+  /// Packs this round's outbound cross-shard messages into one batch per
+  /// peer and ships every batch (empty ones included — the barrier
+  /// token). Loss and dead-target verdicts are applied HERE, sender-side
+  /// — they are global functions, so the receiver would agree.
+  void send_batches() {
+    if (map_.num_shards() == 1) return;
+    const bool sends = sends_data();
+    const bool replies = wants_reply();
+    std::vector<std::vector<std::byte>> encoded;  // keeps payloads alive
+    std::vector<std::vector<wire::BatchRecord>> outgoing(map_.num_shards());
+    const std::size_t n = map_.num_nodes();
+    for (sim::NodeId i = 0; i < n; ++i) {
+      if (!alive_[i] || !targets_[i]) continue;
+      const sim::NodeId t = *targets_[i];
+      if (sends && owns(i) && !owns(t)) {
+        const std::optional<Message>& msg = outbox_[local(i)];
+        if (msg && !msg->empty() && alive_[t] &&
+            !channel_drops(i, wire::BatchTag::forward)) {
+          encoded.push_back(Codec::encode(*msg));
+          outgoing[map_.shard_of(t)].push_back(
+              {static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(t),
+               wire::BatchTag::forward, encoded.back()});
+        }
+      }
+      if (replies && owns(t) && !owns(i)) {
+        const std::optional<Message>& msg = replies_[i];
+        // The initiator is alive by plan; only the loss verdict applies.
+        if (msg && !msg->empty() && !channel_drops(i, wire::BatchTag::reply)) {
+          encoded.push_back(Codec::encode(*msg));
+          outgoing[map_.shard_of(i)].push_back(
+              {static_cast<std::uint32_t>(t), static_cast<std::uint32_t>(i),
+               wire::BatchTag::reply, encoded.back()});
+        }
+      }
+    }
+    for (ShardId s = 0; s < map_.num_shards(); ++s) {
+      if (s == shard_) continue;
+      PeerState& peer = peers_[s];
+      const std::vector<std::byte> payload = wire::encode_batch(
+          round_, shard_, map_.num_shards(), outgoing[s]);
+      peer.sent_frame = wire::encode_frame(wire::FrameKind::batch, shard_,
+                                           round_ + 1, payload);
+      peer.acked = false;
+      peer.silent_polls = 0;
+      // A batch buffered one round ahead becomes current now. (A batch
+      // for THIS round that arrived between rounds is already slotted —
+      // try_complete_round cleared the state before advancing.)
+      if (!peer.got_batch && peer.future_round &&
+          *peer.future_round == round_) {
+        peer.records = std::move(peer.future_records);
+        peer.future_records.clear();
+        peer.future_round.reset();
+        peer.got_batch = true;
+      }
+      transport_->send(s, peer.sent_frame);
+      ++stats_.batch_frames_sent;
+      stats_.batch_records_sent += outgoing[s].size();
+    }
+  }
+
+  /// Drains the transport, slotting batches and acks into peer state.
+  void pump_transport() {
+    for (net::Packet& packet : transport_->receive()) {
+      wire::Frame frame;
+      try {
+        frame = wire::decode_frame(packet.bytes);
+      } catch (const wire::DecodeError&) {
+        ++stats_.decode_errors;
+        continue;
+      }
+      if (frame.kind == wire::FrameKind::batch) {
+        handle_batch(packet.from, frame.payload);
+      } else if (frame.kind == wire::FrameKind::batch_ack) {
+        handle_ack(packet.from, frame.payload);
+      }
+      // Gossip/probe frames on a shard transport are not ours to handle.
+    }
+  }
+
+  void handle_batch(net::PeerId from, std::span<const std::byte> payload) {
+    wire::Batch batch;
+    try {
+      batch = wire::decode_batch(payload);
+    } catch (const wire::DecodeError&) {
+      ++stats_.decode_errors;
+      return;
+    }
+    if (from >= peers_.size() || batch.shard != from ||
+        batch.num_shards != map_.num_shards()) {
+      ++stats_.decode_errors;
+      return;
+    }
+    PeerState& peer = peers_[static_cast<ShardId>(from)];
+    peer.dead = false;
+    peer.silent_polls = 0;
+    // Always ack — receipt, not application, is what stops retransmits.
+    transport_->send(static_cast<ShardId>(from),
+                     wire::encode_frame(wire::FrameKind::batch_ack, shard_,
+                                        batch.round + 1,
+                                        wire::encode_batch_ack(batch.round)));
+    if (batch.round == round_) {
+      if (!peer.got_batch) {
+        peer.records = store_records(batch);
+        peer.got_batch = true;
+        ++stats_.batch_frames_received;
+        stats_.batch_records_received += batch.records.size();
+      }
+    } else if (batch.round > round_) {
+      // The peer moved on; a lockstep peer is at most one round ahead,
+      // anything further means WE restarted behind the cluster. Either
+      // way its current-round batch is implicitly settled.
+      if (!peer.future_round || batch.round > *peer.future_round) {
+        peer.future_round = batch.round;
+        peer.future_records = store_records(batch);
+        ++stats_.batch_frames_received;
+        stats_.batch_records_received += batch.records.size();
+      }
+    }
+    // batch.round < round_: a retransmit we already applied; the re-ack
+    // above is the whole effect.
+  }
+
+  void handle_ack(net::PeerId from, std::span<const std::byte> payload) {
+    std::uint64_t acked_round = 0;
+    try {
+      acked_round = wire::decode_batch_ack(payload);
+    } catch (const wire::DecodeError&) {
+      ++stats_.decode_errors;
+      return;
+    }
+    if (from >= peers_.size()) return;
+    PeerState& peer = peers_[static_cast<ShardId>(from)];
+    peer.dead = false;
+    peer.silent_polls = 0;
+    if (acked_round == round_ && !peer.acked) {
+      peer.acked = true;
+      ++stats_.acks_received;
+    }
+  }
+
+  [[nodiscard]] std::vector<StoredRecord> store_records(
+      const wire::Batch& batch) const {
+    std::vector<StoredRecord> stored;
+    stored.reserve(batch.records.size());
+    for (const wire::BatchRecord& rec : batch.records) {
+      StoredRecord s;
+      s.src = rec.src;
+      s.dst = rec.dst;
+      s.tag = rec.tag;
+      s.payload.assign(rec.payload.begin(), rec.payload.end());
+      stored.push_back(std::move(s));
+    }
+    return stored;
+  }
+
+  /// A peer no longer blocks the barrier once its batch arrived, it
+  /// provably moved past this round, or it timed out.
+  [[nodiscard]] bool peer_settled(const PeerState& peer) const {
+    const bool batch_ok =
+        peer.got_batch || peer.dead ||
+        (peer.future_round && *peer.future_round > round_);
+    const bool ack_ok = peer.acked || peer.dead ||
+                        (peer.future_round && *peer.future_round > round_);
+    return batch_ok && ack_ok;
+  }
+
+  [[nodiscard]] bool barrier_reached() const {
+    for (ShardId s = 0; s < map_.num_shards(); ++s) {
+      if (s == shard_) continue;
+      if (!peer_settled(peers_[s])) return false;
+    }
+    return true;
+  }
+
+  void maybe_retransmit() {
+    if (options_.resend_interval_polls == 0 ||
+        polls_this_round_ % options_.resend_interval_polls != 0) {
+      return;
+    }
+    for (ShardId s = 0; s < map_.num_shards(); ++s) {
+      if (s == shard_) continue;
+      PeerState& peer = peers_[s];
+      if (!peer.acked && !peer.dead) {
+        transport_->send(s, peer.sent_frame);
+        ++stats_.retransmits;
+      }
+    }
+  }
+
+  void maybe_expire_peers() {
+    if (options_.max_exchange_polls == 0) return;
+    for (ShardId s = 0; s < map_.num_shards(); ++s) {
+      if (s == shard_) continue;
+      PeerState& peer = peers_[s];
+      if (peer_settled(peer)) continue;
+      if (++peer.silent_polls > options_.max_exchange_polls) {
+        peer.dead = true;
+        ++stats_.peer_timeouts;
+      }
+    }
+  }
+
+  /// Phase 3 — RoundRunner::deliver_messages, replayed in global node
+  /// order. Local messages come from outbox_/replies_; remote ones from
+  /// the peers' batches, slotted into their planned positions (forward
+  /// keyed by initiator, reply keyed by the initiator it answers).
+  void deliver_messages() {
+    const bool sends = sends_data();
+    const bool replies = wants_reply();
+    for (std::size_t j = 0; j < nodes_.size(); ++j) inbox_[j].clear();
+    // Planned-position index over the stored records of every peer.
+    const std::size_t n = map_.num_nodes();
+    fwd_index_.assign(n, nullptr);
+    reply_index_.assign(n, nullptr);
+    for (ShardId s = 0; s < map_.num_shards(); ++s) {
+      if (s == shard_) continue;
+      for (StoredRecord& rec : peers_[s].records) {
+        rec.consumed = false;
+        if (rec.src >= n || rec.dst >= n || !owns(rec.dst)) continue;
+        if (rec.tag == wire::BatchTag::forward) {
+          fwd_index_[rec.src] = &rec;
+        } else {
+          reply_index_[rec.dst] = &rec;
+        }
+      }
+    }
+    for (sim::NodeId i = 0; i < n; ++i) {
+      if (!alive_[i] || !targets_[i]) continue;
+      const sim::NodeId t = *targets_[i];
+      if (sends && owns(t)) {
+        if (owns(i)) {
+          std::optional<Message>& msg = outbox_[local(i)];
+          if (msg && !msg->empty() && alive_[t] &&
+              !channel_drops(i, wire::BatchTag::forward)) {
+            inbox_[local(t)].push_back(std::move(*msg));
+          }
+        } else if (StoredRecord* rec = fwd_index_[i];
+                   rec != nullptr && rec->dst == t) {
+          deliver_record(*rec);
+        }
+      }
+      if (replies && owns(i) && targets_[i]) {
+        if (owns(t)) {
+          std::optional<Message>& msg = replies_[i];
+          if (msg && !msg->empty() &&
+              !channel_drops(i, wire::BatchTag::reply)) {
+            inbox_[local(i)].push_back(std::move(*msg));
+          }
+        } else if (StoredRecord* rec = reply_index_[i];
+                   rec != nullptr && rec->src == t) {
+          deliver_record(*rec);
+        }
+      }
+    }
+    // Records that matched no planned slot — only possible after a peer
+    // restarted with a diverged plan. Deliver them in a deterministic
+    // order so the healthy shards at least agree with each other.
+    leftovers_.clear();
+    for (ShardId s = 0; s < map_.num_shards(); ++s) {
+      if (s == shard_) continue;
+      for (StoredRecord& rec : peers_[s].records) {
+        if (!rec.consumed && rec.dst < n && owns(rec.dst) &&
+            alive_[rec.dst]) {
+          leftovers_.push_back(&rec);
+        }
+      }
+    }
+    std::sort(leftovers_.begin(), leftovers_.end(),
+              [](const StoredRecord* a, const StoredRecord* b) {
+                return std::tie(a->dst, a->tag, a->src) <
+                       std::tie(b->dst, b->tag, b->src);
+              });
+    for (StoredRecord* rec : leftovers_) {
+      ++stats_.unplanned_records;
+      deliver_record(*rec);
+    }
+  }
+
+  void deliver_record(StoredRecord& rec) {
+    rec.consumed = true;
+    try {
+      inbox_[local(rec.dst)].push_back(Codec::decode(rec.payload));
+    } catch (const wire::DecodeError&) {
+      ++stats_.decode_errors;
+    }
+  }
+
+  /// Phase 4 — batch absorption over the owned range.
+  void absorb_inboxes() {
+    const sim::NodeId base = map_.begin(shard_);
+    exec::parallel_for(pool_.get(), nodes_.size(), [&](std::size_t j) {
+      if (alive_[base + j] && !inbox_[j].empty()) {
+        nodes_[j].absorb(std::move(inbox_[j]));
+      }
+    });
+  }
+
+  /// Phase 5 — RoundRunner::apply_crashes replayed over ALL n nodes;
+  /// the global alive vector stays a pure function of the seed.
+  void apply_crashes() {
+    if (options_.crash_probability <= 0.0) return;
+    const std::size_t n = map_.num_nodes();
+    for (sim::NodeId i = 0; i < n; ++i) {
+      if (alive_[i] && env_rng_.bernoulli(options_.crash_probability)) {
+        alive_[i] = false;
+      }
+    }
+  }
+
+  sim::Topology topology_;
+  ShardMap map_;
+  ShardId shard_;
+  std::vector<Node> nodes_;
+  ShardEngineOptions options_;
+  stats::Rng env_rng_;
+  std::uint64_t loss_seed_;
+  net::Transport* transport_;
+  std::vector<bool> alive_;
+  sim::NeighborSelector selector_;
+  // Global per-round plan (replayed on every shard).
+  std::vector<std::optional<sim::NodeId>> targets_;
+  std::vector<std::vector<sim::NodeId>> reply_requests_;
+  std::vector<std::optional<Message>> replies_;
+  // Owned-range scratch.
+  std::vector<std::optional<Message>> outbox_;
+  std::vector<std::vector<Message>> inbox_;
+  std::vector<StoredRecord*> fwd_index_;
+  std::vector<StoredRecord*> reply_index_;
+  std::vector<StoredRecord*> leftovers_;
+  std::vector<PeerState> peers_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::size_t round_ = 0;
+  std::size_t polls_this_round_ = 0;
+  bool round_open_ = false;
+  ShardEngineStats stats_;
+};
+
+}  // namespace ddc::shard

@@ -1,0 +1,50 @@
+// Deterministic node→shard partition for the sharded cluster engine.
+//
+// The cluster decomposes a Topology owner-computes style (the MPI
+// decomposition of the d2-kmeans lineage): shard s owns one contiguous
+// range of global node ids, every shard derives the SAME map from
+// (num_nodes, num_shards) alone, and ranges differ in size by at most
+// one node. Contiguity keeps the map O(1) in memory and makes
+// shard_of() a division — no lookup tables to distribute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include <ddc/sim/topology.hpp>
+
+namespace ddc::shard {
+
+using ShardId = std::uint32_t;
+
+/// Balanced contiguous partition of [0, num_nodes) into num_shards
+/// ranges. The first `num_nodes % num_shards` shards get one extra node.
+class ShardMap {
+ public:
+  /// Throws ddc::ConfigError unless 1 <= num_shards <= num_nodes.
+  ShardMap(std::size_t num_nodes, ShardId num_shards);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] ShardId num_shards() const noexcept { return num_shards_; }
+
+  /// First global node id owned by shard s.
+  [[nodiscard]] sim::NodeId begin(ShardId s) const;
+  /// One past the last global node id owned by shard s.
+  [[nodiscard]] sim::NodeId end(ShardId s) const;
+  /// Number of nodes shard s owns.
+  [[nodiscard]] std::size_t size(ShardId s) const;
+  /// The shard owning global node id `node`.
+  [[nodiscard]] ShardId shard_of(sim::NodeId node) const;
+
+  /// Cross-shard edge count of `topology` under this map — the traffic
+  /// the cluster pushes through Transport (diagnostics/benchmarks).
+  [[nodiscard]] std::size_t cut_edges(const sim::Topology& topology) const;
+
+ private:
+  std::size_t num_nodes_;
+  ShardId num_shards_;
+  std::size_t base_;       // num_nodes / num_shards
+  std::size_t remainder_;  // num_nodes % num_shards
+};
+
+}  // namespace ddc::shard

@@ -1,0 +1,63 @@
+#include <ddc/shard/shard_map.hpp>
+
+#include <string>
+
+#include <ddc/common/assert.hpp>
+#include <ddc/common/error.hpp>
+
+namespace ddc::shard {
+
+ShardMap::ShardMap(std::size_t num_nodes, ShardId num_shards)
+    : num_nodes_(num_nodes),
+      num_shards_(num_shards),
+      base_(num_shards == 0 ? 0 : num_nodes / num_shards),
+      remainder_(num_shards == 0 ? 0 : num_nodes % num_shards) {
+  if (num_shards == 0) {
+    throw ConfigError("shard: num_shards must be >= 1");
+  }
+  if (num_nodes < num_shards) {
+    throw ConfigError("shard: " + std::to_string(num_shards) +
+                      " shards need at least that many nodes, got " +
+                      std::to_string(num_nodes));
+  }
+}
+
+sim::NodeId ShardMap::begin(ShardId s) const {
+  DDC_EXPECTS(s < num_shards_);
+  const std::size_t extra = s < remainder_ ? s : remainder_;
+  return static_cast<sim::NodeId>(s * base_ + extra);
+}
+
+sim::NodeId ShardMap::end(ShardId s) const {
+  DDC_EXPECTS(s < num_shards_);
+  return begin(s) + size(s);
+}
+
+std::size_t ShardMap::size(ShardId s) const {
+  DDC_EXPECTS(s < num_shards_);
+  return base_ + (s < remainder_ ? 1 : 0);
+}
+
+ShardId ShardMap::shard_of(sim::NodeId node) const {
+  DDC_EXPECTS(node < num_nodes_);
+  // The first `remainder_` shards own (base_ + 1) nodes each.
+  const std::size_t fat_span = remainder_ * (base_ + 1);
+  if (node < fat_span) {
+    return static_cast<ShardId>(node / (base_ + 1));
+  }
+  return static_cast<ShardId>(remainder_ + (node - fat_span) / base_);
+}
+
+std::size_t ShardMap::cut_edges(const sim::Topology& topology) const {
+  DDC_EXPECTS(topology.num_nodes() == num_nodes_);
+  std::size_t cut = 0;
+  for (sim::NodeId i = 0; i < num_nodes_; ++i) {
+    const ShardId home = shard_of(i);
+    for (const sim::NodeId j : topology.neighbors(i)) {
+      if (shard_of(j) != home) ++cut;
+    }
+  }
+  return cut;
+}
+
+}  // namespace ddc::shard

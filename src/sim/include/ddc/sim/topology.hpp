@@ -108,14 +108,6 @@ class Topology {
     return positions_;
   }
 
-  /// Materialized adjacency lists, one vector per node.
-  ///
-  /// Pre-CSR this was (a view of) the native representation; it now copies
-  /// the whole edge set into n separate heap vectors, which defeats the
-  /// point of CSR at scale. Iterate `neighbors(i)` instead.
-  [[deprecated("iterate neighbors(i) — adjacency() copies the whole graph")]]
-  [[nodiscard]] std::vector<std::vector<NodeId>> adjacency() const;
-
  private:
   /// Accumulates directed edges in insertion order, then compresses into
   /// CSR with a stable counting sort by source — so each node's neighbor

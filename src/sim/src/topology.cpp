@@ -280,15 +280,6 @@ bool Topology::has_edge(NodeId i, NodeId j) const {
   return std::find(nbrs.begin(), nbrs.end(), j) != nbrs.end();
 }
 
-std::vector<std::vector<NodeId>> Topology::adjacency() const {
-  std::vector<std::vector<NodeId>> lists(num_nodes_);
-  for (NodeId i = 0; i < num_nodes_; ++i) {
-    const auto nbrs = neighbors(i);
-    lists[i].assign(nbrs.begin(), nbrs.end());
-  }
-  return lists;
-}
-
 namespace {
 
 /// Nodes reachable from `start` following a CSR edge set.

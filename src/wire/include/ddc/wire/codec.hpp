@@ -64,6 +64,9 @@ class Decoder {
   [[nodiscard]] std::int64_t get_i64();
   [[nodiscard]] double get_f64();
   [[nodiscard]] std::uint64_t get_varint();
+  /// Borrows the next `n` bytes verbatim; the span aliases the decoder's
+  /// underlying buffer and is valid only as long as that buffer lives.
+  [[nodiscard]] std::span<const std::byte> get_bytes(std::size_t n);
 
   /// Remaining unread bytes.
   [[nodiscard]] std::size_t remaining() const noexcept {

@@ -35,6 +35,11 @@ enum class FrameKind : std::uint8_t {
   probe = 2,
   /// Answer to a probe. Empty payload.
   probe_ack = 3,
+  /// A shard-to-shard batch: one round's cross-shard messages between a
+  /// peer pair, packed into a single frame (see encode_batch).
+  batch = 4,
+  /// Acknowledges a batch frame. Payload is the acked round (u64).
+  batch_ack = 5,
 };
 
 /// A decoded envelope. `payload` borrows from the buffer handed to
@@ -55,5 +60,53 @@ struct Frame {
 /// payload is NOT validated here — gossip payloads are decoded by the
 /// message codecs, which do their own checking.
 [[nodiscard]] Frame decode_frame(std::span<const std::byte> bytes);
+
+/// Whether one logical message inside a batch travels initiator→target
+/// (forward) or target→initiator (the pull/push_pull answer).
+enum class BatchTag : std::uint8_t {
+  forward = 0,
+  reply = 1,
+};
+
+/// One logical cross-shard message inside a batch payload. `payload`
+/// borrows from whatever buffer the record was decoded from (or, when
+/// encoding, from the caller's message bytes).
+struct BatchRecord {
+  std::uint32_t src;  ///< global node id of the sending node
+  std::uint32_t dst;  ///< global node id of the receiving node
+  BatchTag tag;
+  std::span<const std::byte> payload;
+};
+
+/// A decoded batch payload. Record payloads borrow from the buffer
+/// handed to decode_batch and are valid only as long as it lives.
+struct Batch {
+  std::uint64_t round;       ///< gossip round the records belong to
+  std::uint32_t shard;       ///< originating shard id
+  std::uint32_t num_shards;  ///< cluster size, for cross-checking
+  std::vector<BatchRecord> records;
+};
+
+/// Batch payload layout (goes inside a FrameKind::batch envelope):
+///   round       u64
+///   shard       varint   originating shard id
+///   num_shards  varint   cluster size (receiver sanity-checks)
+///   count       varint   number of records
+///   records     count × { src varint, dst varint, tag u8,
+///                          len varint, payload len bytes }
+[[nodiscard]] std::vector<std::byte> encode_batch(
+    std::uint64_t round, std::uint32_t shard, std::uint32_t num_shards,
+    std::span<const BatchRecord> records);
+
+/// Parses a batch payload; throws DecodeError on malformed input
+/// (including trailing bytes). Record payloads are NOT validated here.
+[[nodiscard]] Batch decode_batch(std::span<const std::byte> payload);
+
+/// Payload for a FrameKind::batch_ack envelope: the acked round.
+[[nodiscard]] std::vector<std::byte> encode_batch_ack(std::uint64_t round);
+
+/// Parses a batch_ack payload; throws DecodeError on malformed input.
+[[nodiscard]] std::uint64_t decode_batch_ack(
+    std::span<const std::byte> payload);
 
 }  // namespace ddc::wire

@@ -107,6 +107,13 @@ std::uint64_t Decoder::get_varint() {
   throw DecodeError("wire: varint longer than 64 bits");
 }
 
+std::span<const std::byte> Decoder::get_bytes(std::size_t n) {
+  need(n);
+  const auto view = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
 void Decoder::check_count(std::uint64_t count,
                           std::size_t min_elem_size) const {
   if (min_elem_size != 0 && count > remaining() / min_elem_size) {

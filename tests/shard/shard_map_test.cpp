@@ -1,0 +1,76 @@
+#include <ddc/shard/shard_map.hpp>
+
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/sim/topology.hpp>
+
+namespace ddc::shard {
+namespace {
+
+TEST(ShardMap, BalancedContiguousPartition) {
+  for (const std::size_t n : {7UL, 8UL, 100UL, 1001UL}) {
+    for (const ShardId s : {ShardId{1}, ShardId{2}, ShardId{3}, ShardId{7}}) {
+      const ShardMap map(n, s);
+      std::size_t total = 0;
+      std::size_t min_size = n;
+      std::size_t max_size = 0;
+      for (ShardId shard = 0; shard < s; ++shard) {
+        EXPECT_EQ(map.begin(shard), total);
+        EXPECT_EQ(map.end(shard) - map.begin(shard), map.size(shard));
+        total += map.size(shard);
+        min_size = std::min(min_size, map.size(shard));
+        max_size = std::max(max_size, map.size(shard));
+      }
+      EXPECT_EQ(total, n);
+      EXPECT_LE(max_size - min_size, 1UL);
+    }
+  }
+}
+
+TEST(ShardMap, ShardOfInvertsRanges) {
+  const ShardMap map(103, 7);
+  for (ShardId s = 0; s < map.num_shards(); ++s) {
+    for (sim::NodeId i = map.begin(s); i < map.end(s); ++i) {
+      EXPECT_EQ(map.shard_of(i), s);
+    }
+  }
+}
+
+TEST(ShardMap, SameMapOnEveryShardOfTheSameConfig) {
+  // The map is derived from (n, S) alone — two independently constructed
+  // maps (one per process in real deployments) must agree everywhere.
+  const ShardMap a(1000, 4);
+  const ShardMap b(1000, 4);
+  for (sim::NodeId i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.shard_of(i), b.shard_of(i));
+  }
+}
+
+TEST(ShardMap, RejectsDegenerateConfigs) {
+  EXPECT_THROW(ShardMap(10, 0), ConfigError);
+  EXPECT_THROW(ShardMap(3, 4), ConfigError);
+  EXPECT_NO_THROW(ShardMap(4, 4));
+}
+
+TEST(ShardMap, CutEdgesCountsCrossShardTraffic) {
+  // A ring cut into S contiguous arcs has S boundaries, each crossed by
+  // one directed edge per direction.
+  const std::size_t n = 24;
+  const auto ring = sim::Topology::ring(n);
+  EXPECT_EQ(ShardMap(n, 1).cut_edges(ring), 0UL);
+  EXPECT_EQ(ShardMap(n, 2).cut_edges(ring), 4UL);
+  EXPECT_EQ(ShardMap(n, 4).cut_edges(ring), 8UL);
+  // The complete graph cut grows with shard count but never exceeds the
+  // total directed edge count.
+  const auto complete = sim::Topology::complete(n);
+  EXPECT_LT(ShardMap(n, 2).cut_edges(complete), n * (n - 1));
+  EXPECT_GT(ShardMap(n, 4).cut_edges(complete),
+            ShardMap(n, 2).cut_edges(complete));
+}
+
+}  // namespace
+}  // namespace ddc::shard

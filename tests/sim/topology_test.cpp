@@ -1,5 +1,7 @@
 #include <ddc/sim/topology.hpp>
 
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include <ddc/common/error.hpp>
@@ -197,16 +199,14 @@ TEST(Topology, RandomGeometricScalesToLargeN) {
   EXPECT_TRUE(t.is_connected());
 }
 
-TEST(Topology, DeprecatedAdjacencyMaterializesNeighborLists) {
+TEST(Topology, NeighborsMatchesRingStructure) {
   const Topology t = Topology::ring(5);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const std::vector<std::vector<NodeId>> lists = t.adjacency();
-#pragma GCC diagnostic pop
-  ASSERT_EQ(lists.size(), 5u);
   for (NodeId i = 0; i < 5; ++i) {
     const auto nbrs = t.neighbors(i);
-    EXPECT_EQ(lists[i], std::vector<NodeId>(nbrs.begin(), nbrs.end()));
+    const std::vector<NodeId> got(nbrs.begin(), nbrs.end());
+    const std::vector<NodeId> want = {(i + 4) % 5, (i + 1) % 5};
+    EXPECT_EQ(std::set<NodeId>(got.begin(), got.end()),
+              std::set<NodeId>(want.begin(), want.end()));
   }
 }
 

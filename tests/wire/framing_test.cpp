@@ -57,7 +57,7 @@ TEST(Framing, UnknownKindRejected) {
   auto bytes = encode_frame(FrameKind::gossip, 1, 1, sample_payload());
   bytes[4] = std::byte{0};
   EXPECT_THROW((void)decode_frame(bytes), DecodeError);
-  bytes[4] = std::byte{4};
+  bytes[4] = std::byte{6};  // first kind beyond batch_ack
   EXPECT_THROW((void)decode_frame(bytes), DecodeError);
 }
 
@@ -84,6 +84,82 @@ TEST(Framing, PayloadBorrowsFromInputBuffer) {
   ASSERT_GE(frame.payload.data(), bytes.data());
   EXPECT_EQ(frame.payload.data() + frame.payload.size(),
             bytes.data() + bytes.size());
+}
+
+std::vector<std::byte> sample_batch_payload() {
+  const auto a = sample_payload();
+  const std::vector<std::byte> b{std::byte{0x01}};
+  const std::vector<BatchRecord> records = {
+      {12, 305, BatchTag::forward, a},
+      {305, 12, BatchTag::reply, b},
+      {7, 8, BatchTag::forward, {}},  // empty payload is legal
+  };
+  return encode_batch(41, 2, 4, records);
+}
+
+TEST(Framing, BatchRoundtrip) {
+  const auto payload = sample_batch_payload();
+  const Batch batch = decode_batch(payload);
+  EXPECT_EQ(batch.round, 41u);
+  EXPECT_EQ(batch.shard, 2u);
+  EXPECT_EQ(batch.num_shards, 4u);
+  ASSERT_EQ(batch.records.size(), 3u);
+  EXPECT_EQ(batch.records[0].src, 12u);
+  EXPECT_EQ(batch.records[0].dst, 305u);
+  EXPECT_EQ(batch.records[0].tag, BatchTag::forward);
+  ASSERT_EQ(batch.records[0].payload.size(), 4u);
+  EXPECT_EQ(batch.records[1].tag, BatchTag::reply);
+  EXPECT_TRUE(batch.records[2].payload.empty());
+  // Re-encoding the decoded view reproduces the bytes exactly (the
+  // bijection the fuzz harness leans on).
+  EXPECT_EQ(encode_batch(batch.round, batch.shard, batch.num_shards,
+                         batch.records),
+            payload);
+}
+
+TEST(Framing, BatchFrameCarriesPayload) {
+  // Unlike probes, batch frames carry payloads through the envelope.
+  const auto payload = sample_batch_payload();
+  const auto bytes = encode_frame(FrameKind::batch, 2, 42, payload);
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.kind, FrameKind::batch);
+  EXPECT_EQ(frame.payload.size(), payload.size());
+  const Batch batch = decode_batch(frame.payload);
+  EXPECT_EQ(batch.records.size(), 3u);
+}
+
+TEST(Framing, EmptyBatchIsTheBarrierToken) {
+  const auto payload = encode_batch(7, 0, 2, {});
+  const Batch batch = decode_batch(payload);
+  EXPECT_EQ(batch.round, 7u);
+  EXPECT_TRUE(batch.records.empty());
+}
+
+TEST(Framing, BatchRejectsBadShape) {
+  // shard id out of range
+  EXPECT_THROW((void)decode_batch(encode_batch(1, 4, 4, {})), DecodeError);
+  // zero shards
+  EXPECT_THROW((void)decode_batch(encode_batch(1, 0, 0, {})), DecodeError);
+  // unknown record tag
+  auto payload = sample_batch_payload();
+  // round u64 + three 1-byte varints, then record 0's src/dst varints
+  // (1 + 2 bytes — 305 needs two) put the tag at offset 14.
+  ASSERT_EQ(static_cast<std::uint8_t>(payload[14]), 0u);
+  payload[14] = std::byte{9};
+  EXPECT_THROW((void)decode_batch(payload), DecodeError);
+  // trailing garbage
+  auto trailing = sample_batch_payload();
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW((void)decode_batch(trailing), DecodeError);
+}
+
+TEST(Framing, BatchAckRoundtrip) {
+  const auto payload = encode_batch_ack(123456789);
+  EXPECT_EQ(decode_batch_ack(payload), 123456789u);
+  auto trailing = payload;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW((void)decode_batch_ack(trailing), DecodeError);
+  EXPECT_THROW((void)decode_batch_ack({}), DecodeError);
 }
 
 TEST(Framing, EnvelopeDoesNotValidateGossipPayload) {

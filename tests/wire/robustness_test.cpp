@@ -110,6 +110,89 @@ TEST(WireRobustness, EveryBitFlipOfFrameIsGraceful) {
   }
 }
 
+std::vector<std::byte> sample_batch() {
+  const auto gm = encode_classification(sample_gaussian());
+  const auto cent = encode_classification(sample_centroid());
+  const std::vector<BatchRecord> records = {
+      {3, 900, BatchTag::forward, gm},
+      {900, 3, BatchTag::reply, cent},
+      {17, 18, BatchTag::forward, {}},
+  };
+  return encode_batch(9, 1, 3, records);
+}
+
+TEST(WireRobustness, BatchPrefixesAllThrow) {
+  assert_every_prefix_throws(sample_batch(), [](std::span<const std::byte> b) {
+    return decode_batch(b);
+  });
+}
+
+TEST(WireRobustness, FramedBatchPrefixesAllThrow) {
+  // The full cluster path: envelope + batch + per-record payloads.
+  const auto bytes = encode_frame(FrameKind::batch, 1, 10, sample_batch());
+  assert_every_prefix_throws(bytes, [](std::span<const std::byte> b) {
+    return decode_batch(decode_frame(b).payload);
+  });
+}
+
+TEST(WireRobustness, EveryBitFlipOfBatchFrameIsGraceful) {
+  const auto bytes = encode_frame(FrameKind::batch, 1, 10, sample_batch());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = bytes;
+      mutated[i] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+      expect_graceful([&] {
+        const Frame frame = decode_frame(mutated);
+        if (frame.kind != FrameKind::batch) return;
+        const Batch batch = decode_batch(frame.payload);
+        // Walk every record payload through the message codec, as the
+        // shard engine does on delivery.
+        for (const BatchRecord& rec : batch.records) {
+          if (rec.tag == BatchTag::forward) {
+            (void)decode_classification<Gaussian>(rec.payload);
+          } else {
+            (void)decode_classification<Vector>(rec.payload);
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(WireRobustness, BatchCountCorruptionCannotOverallocate) {
+  // Blow the record-count varint up to a huge value: check_count must
+  // reject it before anything is reserved.
+  const auto bytes = sample_batch();
+  // round u64 + shard varint (1 byte) + num_shards varint (1 byte).
+  const std::size_t count_offset = 10;
+  std::vector<std::byte> corrupted(bytes.begin(),
+                                   bytes.begin() + count_offset);
+  for (int i = 0; i < 9; ++i) corrupted.push_back(std::byte{0xff});
+  corrupted.push_back(std::byte{0x7f});
+  corrupted.insert(corrupted.end(), bytes.begin() + count_offset + 1,
+                   bytes.end());
+  EXPECT_THROW((void)decode_batch(corrupted), DecodeError);
+}
+
+TEST(WireRobustness, BatchRecordLengthCorruptionCannotOverrun) {
+  // Corrupt a record's payload-length varint to claim more bytes than
+  // the frame holds.
+  const std::vector<BatchRecord> records = {
+      {1, 2, BatchTag::forward, encode_classification(sample_centroid())},
+  };
+  auto bytes = encode_batch(0, 0, 2, records);
+  // Header: round (8) + shard (1) + num_shards (1) + count (1); record:
+  // src (1) + dst (1) + tag (1), then the length varint.
+  const std::size_t len_offset = 14;
+  ASSERT_LT(len_offset, bytes.size());
+  std::vector<std::byte> corrupted(bytes.begin(), bytes.begin() + len_offset);
+  for (int i = 0; i < 9; ++i) corrupted.push_back(std::byte{0xff});
+  corrupted.push_back(std::byte{0x7f});
+  corrupted.insert(corrupted.end(), bytes.begin() + len_offset + 1,
+                   bytes.end());
+  EXPECT_THROW((void)decode_batch(corrupted), DecodeError);
+}
+
 TEST(WireRobustness, LengthFieldCorruptionCannotOverallocate) {
   // Blow the collection-count varint up to a huge value: the decoder's
   // capacity check must reject it instead of reserving terabytes.

@@ -13,6 +13,15 @@
 //
 //   ddcnode --id 3 --nodes 8 --base-port 9800 --protocol gm
 //
+// Shard mode (--num-shards S --shard-id s --nodes-per-shard M) runs one
+// ShardEngine hosting M of the S*M simulated nodes instead of a single
+// NetNode: S processes exchange batched cross-shard traffic (one frame
+// per peer shard per round) and together replay the exact round-based
+// protocol ddcsim runs in-process, so a healthy shard cluster's RESULT
+// matches `ddcsim --summary-line` bit for bit.
+//
+//   ddcnode --shard-id 0 --num-shards 4 --nodes-per-shard 1000
+//
 // The shared engine flags (--topology/--nodes/--k/--quanta-exp/--seed)
 // come from cli::declare_engine_flags; every process runs the same
 // inputs-then-topology derivation ddcsim does, so a cluster and a
@@ -21,6 +30,7 @@
 // cluster.
 #include <chrono>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
 #include <ddc/cli/engine_flags.hpp>
@@ -29,6 +39,7 @@
 #include <ddc/net/codec.hpp>
 #include <ddc/net/net_node.hpp>
 #include <ddc/net/udp.hpp>
+#include <ddc/shard/factories.hpp>
 #include <ddc/sim/topology.hpp>
 #include <ddc/stats/rng.hpp>
 #include <ddc/summaries/centroid.hpp>
@@ -72,8 +83,16 @@ struct Config {
   int probe_retries;
   double loss_prob;
   bool verbose;
+  bool stats_json;
+  // Shard mode (num_shards > 0): this process hosts nodes_per_shard of
+  // the num_shards * nodes_per_shard simulated nodes.
+  std::size_t num_shards;
+  std::size_t shard_id;
+  std::size_t nodes_per_shard;
+  std::size_t max_exchange_polls;
   ddc::sim::EngineConfig engine;
 
+  [[nodiscard]] bool shard_mode() const { return num_shards > 0; }
   [[nodiscard]] std::size_t nodes() const { return engine.topology.nodes; }
   [[nodiscard]] std::uint64_t seed() const { return engine.protocol_seed; }
 };
@@ -103,6 +122,72 @@ ddc::net::UdpTransport make_transport(const Config& config) {
   options.loss_seed = ddc::stats::derive_seed(config.seed(), 7000 + config.id);
   return ddc::net::UdpTransport(static_cast<ddc::net::PeerId>(config.id),
                                 std::move(peers), options);
+}
+
+/// Shard mode's transport: one endpoint per shard (not per node), shard
+/// s listening on base-port + s.
+ddc::net::UdpTransport make_shard_transport(const Config& config) {
+  std::vector<ddc::net::UdpPeer> peers;
+  peers.reserve(config.num_shards);
+  for (std::size_t s = 0; s < config.num_shards; ++s) {
+    peers.push_back({config.host,
+                     static_cast<std::uint16_t>(config.base_port + s)});
+  }
+  ddc::net::UdpOptions options;
+  options.probe_timeout = std::chrono::milliseconds(config.probe_timeout_ms);
+  options.probe_retries = config.probe_retries;
+  options.inject_receive_loss = config.loss_prob;
+  options.loss_seed =
+      ddc::stats::derive_seed(config.seed(), 7000 + config.shard_id);
+  return ddc::net::UdpTransport(
+      static_cast<ddc::net::PeerId>(config.shard_id), std::move(peers),
+      options);
+}
+
+/// One-line JSON stats dump (--stats-json): per-peer link counters plus,
+/// in shard mode, the engine's batch-exchange counters. Printed to
+/// stdout so run_cluster.sh can assert on batching efficiency.
+std::string stats_json(const ddc::net::UdpTransport& transport,
+                       std::size_t num_peers, std::size_t self,
+                       const ddc::shard::ShardEngineStats* engine) {
+  std::ostringstream os;
+  os << "{\"mode\":\"" << (engine != nullptr ? "shard" : "node")
+     << "\",\"id\":" << self << ",\"injected_losses\":"
+     << transport.injected_losses();
+  if (engine != nullptr) {
+    const double records_per_frame =
+        engine->batch_frames_sent > 0
+            ? static_cast<double>(engine->batch_records_sent) /
+                  static_cast<double>(engine->batch_frames_sent)
+            : 0.0;
+    os << ",\"engine\":{\"batch_frames_sent\":" << engine->batch_frames_sent
+       << ",\"batch_records_sent\":" << engine->batch_records_sent
+       << ",\"batch_frames_received\":" << engine->batch_frames_received
+       << ",\"batch_records_received\":" << engine->batch_records_received
+       << ",\"acks_received\":" << engine->acks_received
+       << ",\"retransmits\":" << engine->retransmits
+       << ",\"decode_errors\":" << engine->decode_errors
+       << ",\"peer_timeouts\":" << engine->peer_timeouts
+       << ",\"unplanned_records\":" << engine->unplanned_records
+       << ",\"records_per_frame\":" << records_per_frame << "}";
+  }
+  os << ",\"peers\":[";
+  for (std::size_t p = 0; p < num_peers; ++p) {
+    const auto& s = transport.stats(static_cast<ddc::net::PeerId>(p));
+    if (p > 0) os << ',';
+    os << "{\"peer\":" << p << ",\"frames_sent\":" << s.frames_sent
+       << ",\"bytes_sent\":" << s.bytes_sent
+       << ",\"frames_received\":" << s.frames_received
+       << ",\"bytes_received\":" << s.bytes_received
+       << ",\"send_failures\":" << s.send_failures << ",\"reachable\":"
+       << (p == self || transport.peer_reachable(
+                            static_cast<ddc::net::PeerId>(p))
+               ? "true"
+               : "false")
+       << '}';
+  }
+  os << "]}";
+  return os.str();
 }
 
 /// Startup barrier: wait (bounded) until every peer has been heard from
@@ -135,6 +220,70 @@ void await_peers(const Config& config, ddc::net::UdpTransport& transport,
   }
   std::cerr << "ddcnode " << config.id
             << ": start barrier timed out; proceeding\n";
+}
+
+/// Shard-mode startup barrier. Discarding data frames here is safe —
+/// unlike the gossip path, every batch is retransmitted until acked, so
+/// nothing a fast-starting peer sent during our barrier is lost.
+void await_shard_peers(const Config& config,
+                       ddc::net::UdpTransport& transport) {
+  if (config.num_shards <= 1) return;
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(config.start_timeout_ms);
+  while (Clock::now() < deadline) {
+    transport.maintain();
+    (void)transport.receive();
+    bool all_heard = true;
+    for (std::size_t p = 0; p < config.num_shards; ++p) {
+      if (p == config.shard_id) continue;
+      if (transport.stats(static_cast<ddc::net::PeerId>(p)).frames_received ==
+          0) {
+        all_heard = false;
+        break;
+      }
+    }
+    if (all_heard) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::cerr << "ddcnode shard " << config.shard_id
+            << ": start barrier timed out; proceeding\n";
+}
+
+template <typename Engine, typename MeanFn>
+int drive_shard(const Config& config, ddc::net::UdpTransport& transport,
+                Engine& engine, MeanFn mean_of) {
+  await_shard_peers(config, transport);
+  engine.run_rounds(config.rounds);
+  // Drain: a lagging or restarted peer shard may still be replaying
+  // rounds and needs this shard's re-acks (service() answers them
+  // without opening a new round).
+  const auto tick = std::chrono::milliseconds(config.tick_ms);
+  for (std::size_t t = 0; t < config.drain_ticks; ++t) {
+    engine.service();
+    transport.maintain();
+    std::this_thread::sleep_for(tick);
+  }
+  if (config.verbose) {
+    const auto& st = engine.stats();
+    std::cerr << "ddcnode shard " << config.shard_id << ": frames_sent="
+              << st.batch_frames_sent << " records_sent="
+              << st.batch_records_sent << " retransmits=" << st.retransmits
+              << " peer_timeouts=" << st.peer_timeouts
+              << " injected_losses=" << transport.injected_losses() << '\n';
+  }
+  if (config.stats_json) {
+    std::cout << stats_json(transport, config.num_shards, config.shard_id,
+                            &engine.stats())
+              << '\n';
+  }
+  // Every shard reports its first owned node; shard 0's line is global
+  // node 0's classification, directly comparable with ddcsim's.
+  std::cout << ddc::tools::result_line(
+                   engine.nodes().front().classification(), mean_of)
+            << '\n'
+            << std::flush;
+  return 0;
 }
 
 template <typename Node, typename Codec, typename MeanFn>
@@ -178,6 +327,10 @@ int run(const Config& config, Node node, ddc::sim::Topology topology,
               << " injected_losses=" << transport.injected_losses()
               << " reachable_peers=" << reachable << '\n';
   }
+  if (config.stats_json) {
+    std::cout << stats_json(transport, config.nodes(), config.id, nullptr)
+              << '\n';
+  }
   // Explicit flush: run_cluster.sh consumes this line from a pipe and
   // must see it even if the process is subsequently killed.
   std::cout << ddc::tools::result_line(driver.node().classification(), mean_of)
@@ -207,8 +360,25 @@ int main(int argc, char** argv) {
                 "3");
   flags.declare("loss-prob",
                 "probability of dropping each incoming datagram (loss "
-                "injection for tests)",
+                "injection for tests; in shard mode the batch protocol "
+                "retransmits through it)",
                 "0");
+  flags.declare("num-shards",
+                "run in shard mode with this many shard processes (0 = "
+                "single-node mode)",
+                "0");
+  flags.declare("shard-id", "this process's shard index (shard mode)", "0");
+  flags.declare("nodes-per-shard",
+                "simulated nodes hosted by each shard (shard mode; total "
+                "nodes = num-shards * nodes-per-shard)",
+                "0");
+  flags.declare("max-exchange-polls",
+                "polls without traffic before a peer shard is declared "
+                "dead (shard mode; 0 waits forever)",
+                "4000");
+  flags.declare_bool("stats-json",
+                     "print one line of JSON link/batch statistics to "
+                     "stdout before the RESULT line");
   flags.declare_bool("verbose", "print traffic stats to stderr");
   ddc::cli::declare_engine_flags(flags, node_flag_defaults(), kNodeFlagSet);
 
@@ -217,7 +387,7 @@ int main(int argc, char** argv) {
       std::cout << flags.help_text();
       return 0;
     }
-    const Config config{
+    Config config{
         static_cast<std::size_t>(flags.get_int("id")),
         static_cast<std::uint16_t>(flags.get_int("base-port")),
         flags.get("host"),
@@ -231,10 +401,26 @@ int main(int argc, char** argv) {
         static_cast<int>(flags.get_int("probe-retries")),
         flags.get_double("loss-prob"),
         flags.get_bool("verbose"),
+        flags.get_bool("stats-json"),
+        static_cast<std::size_t>(flags.get_int("num-shards")),
+        static_cast<std::size_t>(flags.get_int("shard-id")),
+        static_cast<std::size_t>(flags.get_int("nodes-per-shard")),
+        static_cast<std::size_t>(flags.get_int("max-exchange-polls")),
         ddc::cli::parse_engine_config(flags, node_flag_defaults(),
                                       kNodeFlagSet),
     };
-    if (config.id >= config.nodes()) {
+    if (config.shard_mode()) {
+      if (config.nodes_per_shard == 0) {
+        throw ddc::ConfigError("shard mode needs --nodes-per-shard > 0");
+      }
+      if (config.shard_id >= config.num_shards) {
+        throw ddc::ConfigError("--shard-id must be < --num-shards");
+      }
+      // In shard mode the simulated population is derived, not taken
+      // from --nodes: every shard must agree on the global node count.
+      config.engine.topology.nodes =
+          config.num_shards * config.nodes_per_shard;
+    } else if (config.id >= config.nodes()) {
       throw ddc::ConfigError("--id must be < --nodes");
     }
     if (config.loss_prob < 0.0 || config.loss_prob > 1.0) {
@@ -247,6 +433,37 @@ int main(int argc, char** argv) {
     ddc::stats::Rng rng(config.seed());
     const std::vector<Vector> inputs = make_inputs(config, rng);
     ddc::sim::Topology topology = config.engine.build_topology(rng);
+
+    if (config.shard_mode()) {
+      ddc::net::UdpTransport transport = make_shard_transport(config);
+      ddc::shard::ShardEngineOptions pacing;
+      pacing.max_exchange_polls = config.max_exchange_polls;
+      pacing.idle = [&transport] {
+        transport.maintain();
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      };
+      const auto shard_id =
+          static_cast<ddc::shard::ShardId>(config.shard_id);
+      const auto num_shards =
+          static_cast<ddc::shard::ShardId>(config.num_shards);
+      if (config.protocol == "gm") {
+        auto engine = ddc::shard::make_gm_shard_engine(
+            std::move(topology), inputs, config.engine, shard_id, num_shards,
+            &transport, pacing);
+        return drive_shard(config, transport, engine,
+                           [](const ddc::stats::Gaussian& g) {
+                             return g.mean();
+                           });
+      }
+      if (config.protocol == "centroid") {
+        auto engine = ddc::shard::make_centroid_shard_engine(
+            std::move(topology), inputs, config.engine, shard_id, num_shards,
+            &transport, pacing);
+        return drive_shard(config, transport, engine,
+                           [](const Vector& v) { return v; });
+      }
+      throw ddc::ConfigError("unknown protocol '" + config.protocol + "'");
+    }
 
     const ddc::gossip::NetworkConfig net =
         ddc::gossip::network_config(config.engine);
