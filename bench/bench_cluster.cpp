@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include <ddc/linalg/simd.hpp>
 #include <ddc/cli/engine_flags.hpp>
 #include <ddc/shard/factories.hpp>
 #include <ddc/workload/scenarios.hpp>
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
     }
     ddc::sim::EngineConfig config =
         ddc::cli::parse_engine_config(flags, {}, set);
+    ddc::linalg::simd::configure(config.simd);
     const std::string protocol = flags.get("protocol");
     const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
     const auto shards =

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include <ddc/linalg/simd.hpp>
 #include <ddc/cli/engine_flags.hpp>
 #include <ddc/gossip/runners.hpp>
 #include <ddc/metrics/streaming.hpp>
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
     }
     ddc::sim::EngineConfig config =
         ddc::cli::parse_engine_config(flags, {}, set);
+    ddc::linalg::simd::configure(config.simd);
     const std::string protocol = flags.get("protocol");
     const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
 

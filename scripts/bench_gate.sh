@@ -308,8 +308,26 @@ if [[ ! -x "$BUILD_DIR/bench/micro_ops" ]]; then
   cmake --build "$BUILD_DIR" --target micro_ops -j "$(nproc)"
 fi
 
-# Keep this filter in sync with the "command" field of BENCH_hotpath.json.
-FILTER='BM_GreedyPartition/|BM_EmEStepHoisted|BM_ReduceEm/14|BM_GmNetworkRound/512/1|BM_ClassifierExchange/7|BM_MomentMatch/14$|BM_ExpectedLogPdf'
+# The gated kernel set IS the set of keys in the baseline's "gate"
+# block: the --benchmark_filter is derived from those keys (exact,
+# anchored alternation), so a gate entry can never silently drift out
+# of the benchmark run. To gate a new kernel, add its key to the gate
+# block (any placeholder value) and run --update for the real baseline.
+FILTER=$(awk '
+  /"gate": *\{/ { in_gate = 1; next }
+  in_gate && /\}/ { in_gate = 0 }
+  in_gate && /":/ {
+    line = $0
+    sub(/^[^"]*"/, "", line)
+    sub(/".*$/, "", line)
+    names = names (names == "" ? "" : "|") line
+  }
+  END { print "^(" names ")$" }
+' "$BASELINE")
+if [[ "$FILTER" == '^()$' ]]; then
+  echo "bench_gate: no gate keys found in $BASELINE" >&2
+  exit 2
+fi
 
 BENCH_ARGS=(
   "--benchmark_filter=$FILTER"

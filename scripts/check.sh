@@ -22,7 +22,15 @@
 #                  under ASan here too, as do the shard suite and the
 #                  multi-shard UDP smoke (cluster_multishard_smoke
 #                  drives sanitized ddcnode shard processes).
-#   6. bench gate  smoke-mode scripts/bench_gate.sh against
+#   6. SIMD tiers  a dedicated -mavx2 build runs the kernel-equivalence
+#                  and batched-scorer suites (the lanewise AVX2 kernel
+#                  must be bit-identical to the scalar reference; the
+#                  fast-math tier must sit inside its documented error
+#                  bound), then the same binaries rerun with
+#                  DDC_SIMD=scalar — including the sim golden digests —
+#                  and a ddcsim cross-mode run asserts --simd=auto and
+#                  --simd=scalar produce byte-identical RESULT lines.
+#   7. bench gate  smoke-mode scripts/bench_gate.sh against
 #                  BENCH_hotpath.json, so a hot-path complexity
 #                  regression (say, an accidental return to the O(m³)
 #                  partition rescan) fails even when every unit test
@@ -32,7 +40,7 @@
 #                  scripts/bench_gate.sh --scale-full); then the
 #                  sharded-cluster tier against BENCH_cluster.json
 #                  (loopback throughput, RSS, records per batch frame).
-#   7. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
+#   8. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
 #                  invariants via the ddc::audit pool auditors) replay
 #                  the committed corpus plus DDC_FUZZ_RUNS fresh
 #                  deterministic iterations under ASan+UBSan.
@@ -47,15 +55,15 @@ cd "$(dirname "$0")/.."
 
 DDC_FUZZ_RUNS=${DDC_FUZZ_RUNS:-20000}
 
-echo "=== gate 1/7: format check ==="
+echo "=== gate 1/8: format check ==="
 scripts/format.sh --check
 
 echo
-echo "=== gate 2/7: determinism lint ==="
+echo "=== gate 2/8: determinism lint ==="
 scripts/lint_determinism.sh
 
 echo
-echo "=== gate 3/7: clang-tidy ==="
+echo "=== gate 3/8: clang-tidy ==="
 scripts/tidy.sh
 
 if [[ "${DDC_SKIP_SLOW:-0}" == "1" ]]; then
@@ -66,10 +74,11 @@ fi
 
 TSAN_DIR=build-tsan
 ASAN_DIR=build-asan
+SIMD_DIR=build-simd
 FUZZ_DIR=build-fuzz
 
 echo
-echo "=== gate 4/7: ThreadSanitizer (exec, sim, gossip) ==="
+echo "=== gate 4/8: ThreadSanitizer (exec, sim, gossip) ==="
 cmake -B "$TSAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
@@ -83,7 +92,7 @@ cmake --build "$TSAN_DIR" --target exec_tests sim_tests gossip_tests -j "$(nproc
 echo "TSan-clean: exec, sim and gossip test suites."
 
 echo
-echo "=== gate 5/7: ASan+UBSan, full test suite ==="
+echo "=== gate 5/8: ASan+UBSan, full test suite ==="
 cmake -B "$ASAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
@@ -101,7 +110,42 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 echo "ASan+UBSan-clean: full ctest suite."
 
 echo
-echo "=== gate 6/7: bench regression gate ==="
+echo "=== gate 6/8: SIMD tiers (AVX2 build + forced-scalar rerun) ==="
+cmake -B "$SIMD_DIR" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-mavx2"
+cmake --build "$SIMD_DIR" --target linalg_tests stats_tests sim_tests ddcsim \
+  -j "$(nproc)"
+
+# AVX2 leg: kernel equivalence + batched scorer suites with the AVX2 TU
+# guaranteed in the binary. The lanewise-vs-scalar bit-identity and
+# fast-math error-bound tests skip themselves on non-AVX2 CPUs.
+"$SIMD_DIR"/tests/linalg_tests
+"$SIMD_DIR"/tests/stats_tests
+
+# Forced-scalar leg: the same binaries pinned to the reference kernels.
+# The sim golden digests must reproduce bit for bit on the scalar path.
+DDC_SIMD=scalar "$SIMD_DIR"/tests/linalg_tests
+DDC_SIMD=scalar "$SIMD_DIR"/tests/stats_tests
+DDC_SIMD=scalar "$SIMD_DIR"/tests/sim_tests
+
+# Cross-mode determinism: node 0's final classification must be
+# byte-identical whichever bit-exact tier scored the E step.
+simd_auto=$("$SIMD_DIR"/tools/ddcsim --nodes=24 --rounds=20 --seed=7 \
+  --summary-line --simd=auto | grep '^RESULT')
+simd_scalar=$("$SIMD_DIR"/tools/ddcsim --nodes=24 --rounds=20 --seed=7 \
+  --summary-line --simd=scalar | grep '^RESULT')
+if [[ "$simd_auto" != "$simd_scalar" ]]; then
+  echo "SIMD gate FAILED: --simd=auto and --simd=scalar disagree" >&2
+  echo "  auto:   $simd_auto" >&2
+  echo "  scalar: $simd_scalar" >&2
+  exit 1
+fi
+
+echo "SIMD gate passed: AVX2 + forced-scalar legs clean, cross-mode RESULT identical."
+
+echo
+echo "=== gate 7/8: bench regression gate ==="
 # The gate needs an optimized, unsanitized binary; the default build dir
 # is RelWithDebInfo. Smoke mode keeps the run short and its tolerance
 # loose enough for a loaded CI host while still catching order-of-
@@ -123,7 +167,7 @@ scripts/bench_gate.sh --cluster
 echo "Cluster gate passed: sharded tier within tolerance of BENCH_cluster.json."
 
 echo
-echo "=== gate 7/7: fuzz smoke ==="
+echo "=== gate 8/8: fuzz smoke ==="
 cmake -B "$FUZZ_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDDC_FUZZ=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \

@@ -23,6 +23,7 @@ struct EngineFlagSet {
   bool parallelism = true;  ///< --threads
   bool protocol = true;     ///< --k --quanta-exp
   bool backend = true;      ///< --engine (object | soa | auto)
+  bool simd = true;         ///< --simd (auto | scalar | avx2)
   bool timing = true;       ///< --timing
 };
 

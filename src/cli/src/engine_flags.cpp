@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include <ddc/linalg/simd.hpp>
+
 namespace ddc::cli {
 namespace {
 
@@ -93,6 +95,14 @@ void declare_engine_flags(Flags& flags, const sim::EngineConfig& defaults,
                   "only) | auto (soa at scale, object otherwise)",
                   backend_name(defaults.backend));
   }
+  if (set.simd) {
+    flags.declare("simd",
+                  "math-kernel dispatch: auto (bit-exact SIMD when the CPU "
+                  "supports it) | scalar (reference kernels) | avx2 (require "
+                  "AVX2 and enable the fast-math scoring tier — results may "
+                  "differ in the last ulps)",
+                  linalg::simd::mode_name(defaults.simd));
+  }
   if (set.timing) {
     flags.declare_bool("timing",
                        "print accumulated per-phase wall-clock (prepare / "
@@ -144,6 +154,15 @@ sim::EngineConfig parse_engine_config(const Flags& flags,
   }
   if (set.backend) {
     config.backend = parse_backend(flags.get("engine"));
+  }
+  if (set.simd) {
+    const std::string name = flags.get("simd");
+    const auto mode = linalg::simd::parse_mode(name);
+    if (!mode) {
+      throw ConfigError("unknown simd mode '" + name +
+                        "' (auto | scalar | avx2)");
+    }
+    config.simd = *mode;
   }
 
   // The historical ddcsim seed split: protocol (node-local EM restarts)

@@ -8,6 +8,7 @@
 #include <ddc/common/agglomerate.hpp>
 #include <ddc/common/assert.hpp>
 #include <ddc/linalg/cholesky.hpp>
+#include <ddc/stats/gaussian_batch.hpp>
 
 namespace ddc::em {
 
@@ -182,11 +183,16 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
   run.model = GaussianMixture(std::move(init));
 
   // Scratch reused across iterations: responsibilities, the factorized
-  // scoring components, per-input log-scores, and the M-step part list.
+  // scoring components, the SoA-packed inputs (constant across
+  // iterations — packed once), the m×l score table, and the M-step part
+  // list.
   std::vector<std::vector<double>> resp(l);
   std::vector<ScoringComponent> scoring;
   std::vector<double> logs;
   std::vector<WeightedGaussian> parts;
+  stats::GaussianBatch batch;
+  batch.assign(input);
+  std::vector<double> scores;
   double prev_objective = -std::numeric_limits<double>::infinity();
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     run.iterations = iter + 1;
@@ -194,15 +200,21 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
 
     // E step: rᵢⱼ ∝ πⱼ exp(E_{Nᵢ}[log Nⱼ]) with the log-sum-exp trick;
     // accumulate the surrogate objective. Model covariances are floored
-    // for scoring only, and each component is factorized once per
-    // iteration (not per pair) via ScoringComponent.
+    // for scoring only, each component is factorized once per iteration
+    // (not per pair) via ScoringComponent, and every component scores
+    // the whole SoA input batch in one score_batch pass — the E step's
+    // only scoring entry point.
     build_scoring(run.model, floor_eps, scoring);
+    scores.resize(m * l);
+    for (std::size_t j = 0; j < m; ++j) {
+      scoring[j].scorer.score_batch(batch, scores.data() + j * l);
+    }
     logs.resize(m);
     double objective = 0.0;
     for (std::size_t i = 0; i < l; ++i) {
       double max_log = -std::numeric_limits<double>::infinity();
       for (std::size_t j = 0; j < m; ++j) {
-        logs[j] = scoring[j].log_prior + scoring[j].scorer.score(input[i].gaussian);
+        logs[j] = scoring[j].log_prior + scores[j * l + i];
         max_log = std::max(max_log, logs[j]);
       }
       resp[i].assign(m, 0.0);
@@ -247,13 +259,16 @@ EmRun run_em(const GaussianMixture& input, const std::vector<std::size_t>& seeds
   // (same floored scoring as the E step, for consistency).
   const std::size_t m = run.model.size();
   build_scoring(run.model, floor_eps, scoring);
+  scores.resize(m * l);
+  for (std::size_t j = 0; j < m; ++j) {
+    scoring[j].scorer.score_batch(batch, scores.data() + j * l);
+  }
   run.assignment.assign(l, 0);
   run.assignment_score.assign(l, 0.0);
   for (std::size_t i = 0; i < l; ++i) {
     double best = -std::numeric_limits<double>::infinity();
     for (std::size_t j = 0; j < m; ++j) {
-      const double score =
-          scoring[j].log_prior + scoring[j].scorer.score(input[i].gaussian);
+      const double score = scoring[j].log_prior + scores[j * l + i];
       if (score > best) {
         best = score;
         run.assignment[i] = j;

@@ -55,6 +55,9 @@ class Matrix {
   [[nodiscard]] Vector col(std::size_t c) const;
 
   [[nodiscard]] const std::vector<double>& data() const noexcept { return elems_; }
+  /// Mutable raw storage — the fixed-dimension kernels (linalg/kernels.hpp)
+  /// write factor/inverse results straight into Matrix storage.
+  [[nodiscard]] std::vector<double>& data() noexcept { return elems_; }
 
   Matrix& operator+=(const Matrix& rhs);
   Matrix& operator-=(const Matrix& rhs);

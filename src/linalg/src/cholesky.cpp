@@ -1,40 +1,52 @@
 #include <ddc/linalg/cholesky.hpp>
 
+#include <array>
 #include <cmath>
+#include <vector>
 
 #include <ddc/common/error.hpp>
+#include <ddc/linalg/kernels.hpp>
 
 namespace ddc::linalg {
+
+namespace {
+
+/// Small-dimension scratch: stack storage for the paper-scale d ≤ 8, heap
+/// beyond (the mixture-space auxiliary vectors can be R^n).
+struct Scratch {
+  explicit Scratch(std::size_t n) {
+    if (n > stack.size()) {
+      heap.resize(n);
+      ptr = heap.data();
+    } else {
+      ptr = stack.data();
+    }
+  }
+  std::array<double, 16> stack{};
+  std::vector<double> heap;
+  double* ptr = nullptr;
+};
+
+}  // namespace
 
 Cholesky::Cholesky(const Matrix& a) {
   DDC_EXPECTS(a.square());
   const std::size_t n = a.rows();
   l_ = Matrix(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) {
-      throw_numerical_error("Cholesky: matrix is not positive definite");
-    }
-    const double ljj = std::sqrt(diag);
-    l_(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double acc = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
-      l_(i, j) = acc / ljj;
-    }
-  }
+  const bool ok = kernels::dispatch_dim(n, [&](auto d) {
+    return kernels::cholesky_factor<d()>(a.data().data(), l_.data().data(), n);
+  });
+  if (!ok) throw_numerical_error("Cholesky: matrix is not positive definite");
 }
 
 Vector Cholesky::solve_lower(const Vector& b) const {
   DDC_EXPECTS(b.dim() == dim());
   const std::size_t n = dim();
   Vector y(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
-    y[i] = acc / l_(i, i);
-  }
+  kernels::dispatch_dim(n, [&](auto d) {
+    kernels::solve_lower<d()>(l_.data().data(), b.data().data(),
+                              y.data().data(), n);
+  });
   return y;
 }
 
@@ -43,11 +55,10 @@ Vector Cholesky::solve(const Vector& b) const {
   Vector y = solve_lower(b);
   // Back substitution with Lᵀ.
   Vector x(n);
-  for (std::size_t ii = n; ii-- > 0;) {
-    double acc = y[ii];
-    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
-    x[ii] = acc / l_(ii, ii);
-  }
+  kernels::dispatch_dim(n, [&](auto d) {
+    kernels::solve_upper_transposed<d()>(l_.data().data(), y.data().data(),
+                                         x.data().data(), n);
+  });
   return x;
 }
 
@@ -61,20 +72,38 @@ Matrix Cholesky::solve(const Matrix& b) const {
   return x;
 }
 
-Matrix Cholesky::inverse() const { return solve(Matrix::identity(dim())); }
+Matrix Cholesky::inverse() const {
+  // Column-by-column solve of the identity through the fixed-d kernel —
+  // the same forward/backward substitutions as solve(Matrix::identity)
+  // performed, without materializing the identity or per-column Vectors.
+  const std::size_t n = dim();
+  Matrix inv(n, n);
+  Scratch scratch(2 * n);
+  kernels::dispatch_dim(n, [&](auto d) {
+    kernels::inverse_from_factor<d()>(l_.data().data(), inv.data().data(),
+                                      scratch.ptr, n);
+  });
+  return inv;
+}
 
 double Cholesky::log_det() const noexcept {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < dim(); ++i) acc += std::log(l_(i, i));
-  return 2.0 * acc;
+  const std::size_t n = dim();
+  return kernels::dispatch_dim(n, [&](auto d) {
+    return kernels::log_det_from_factor<d()>(l_.data().data(), n);
+  });
 }
 
 double Cholesky::det() const noexcept { return std::exp(log_det()); }
 
 double Cholesky::mahalanobis_squared(const Vector& x) const {
   // xᵀ A⁻¹ x = ‖L⁻¹ x‖² — one forward substitution, no explicit inverse.
-  const Vector y = solve_lower(x);
-  return dot(y, y);
+  DDC_EXPECTS(x.dim() == dim());
+  const std::size_t n = dim();
+  Scratch y(n);
+  return kernels::dispatch_dim(n, [&](auto d) {
+    return kernels::mahalanobis_squared<d()>(l_.data().data(),
+                                             x.data().data(), y.ptr, n);
+  });
 }
 
 Cholesky regularized_cholesky(const Matrix& a, double min_jitter,

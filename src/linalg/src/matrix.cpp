@@ -4,6 +4,8 @@
 #include <cmath>
 #include <ostream>
 
+#include <ddc/linalg/kernels.hpp>
+
 namespace ddc::linalg {
 
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
@@ -120,11 +122,18 @@ double trace(const Matrix& m) {
 double trace_product(const Matrix& a, const Matrix& b) {
   DDC_EXPECTS(a.cols() == b.rows());
   DDC_EXPECTS(a.rows() == b.cols());
+  // Mirrors operator*'s accumulation of out(i, i): ascending k with the
+  // same zero-coefficient skip, so the result matches trace(a * b) bit
+  // for bit (the determinism goldens depend on that). Square inputs (the
+  // covariance hot path) go through the d = 1..4 unrolled kernel.
+  if (a.square()) {
+    const std::size_t n = a.rows();
+    return kernels::dispatch_dim(n, [&](auto d) {
+      return kernels::trace_product<d()>(a.data().data(), b.data().data(), n);
+    });
+  }
   double total = 0.0;
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    // Mirrors operator*'s accumulation of out(i, i): ascending k with the
-    // same zero-coefficient skip, so the result matches trace(a * b) bit
-    // for bit (the determinism goldens depend on that).
     double acc = 0.0;
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double aik = a(i, k);

@@ -1,10 +1,15 @@
 #include <ddc/linalg/moments.hpp>
 
+#include <ddc/linalg/kernels.hpp>
+
 namespace ddc::linalg {
 
 void add_scaled(Vector& acc, double scale, const Vector& v) {
   DDC_EXPECTS(acc.dim() == v.dim());
-  for (std::size_t i = 0; i < acc.dim(); ++i) acc[i] += scale * v[i];
+  const std::size_t n = acc.dim();
+  kernels::dispatch_dim(n, [&](auto d) {
+    kernels::add_scaled<d()>(acc.data().data(), scale, v.data().data(), n);
+  });
 }
 
 void add_scaled_spread(Matrix& acc, double scale, const Matrix& m,
@@ -12,11 +17,10 @@ void add_scaled_spread(Matrix& acc, double scale, const Matrix& m,
   const std::size_t d = delta.dim();
   DDC_EXPECTS(m.rows() == d && m.cols() == d);
   DDC_EXPECTS(acc.rows() == d && acc.cols() == d);
-  for (std::size_t r = 0; r < d; ++r) {
-    for (std::size_t c = 0; c < d; ++c) {
-      acc(r, c) += scale * (m(r, c) + delta[r] * delta[c]);
-    }
-  }
+  kernels::dispatch_dim(d, [&](auto fd) {
+    kernels::add_scaled_spread<fd()>(acc.data().data(), scale,
+                                     m.data().data(), delta.data().data(), d);
+  });
 }
 
 void WeightedMomentAccumulator::accumulate_spread(double scale,
@@ -34,11 +38,10 @@ void WeightedMomentAccumulator::accumulate_spread(double scale,
   DDC_EXPECTS(part_mean.dim() == delta_.dim());
   const std::size_t d = delta_.dim();
   for (std::size_t i = 0; i < d; ++i) delta_[i] = part_mean[i] - mean_[i];
-  for (std::size_t r = 0; r < d; ++r) {
-    for (std::size_t c = 0; c < d; ++c) {
-      cov_(r, c) += scale * (delta_[r] * delta_[c]);
-    }
-  }
+  kernels::dispatch_dim(d, [&](auto fd) {
+    kernels::add_scaled_outer<fd()>(cov_.data().data(), scale,
+                                    delta_.data().data(), d);
+  });
 }
 
 }  // namespace ddc::linalg

@@ -1,0 +1,29 @@
+// Internal declarations of the AVX2 kernel translation unit
+// (simd_avx2.cpp, compiled with -mavx2 when the toolchain supports it).
+// Not installed; only simd.cpp includes this.
+#pragma once
+
+#include <cstddef>
+
+#include <ddc/linalg/kernels.hpp>
+
+#if defined(DDC_LINALG_HAVE_AVX2_TU)
+
+namespace ddc::linalg::simd::detail {
+
+/// Lanewise 4-wide batch scorer: bit-identical to the scalar kernel
+/// (each lane runs the exact scalar operation sequence).
+void score_batch_avx2_lanewise(const kernels::ScorerData& s,
+                               const double* means, const double* covs,
+                               std::size_t count, double* out,
+                               double* scratch);
+
+/// Re-associated trace-term batch scorer. NOT bit-identical to scalar —
+/// fast-math tier only, error-bound tested, never in golden tests.
+void score_batch_avx2_fastmath(  // ddclint: allow(float-reorder) fast-math tier entry point; re-association is its documented contract (tests/stats/score_batch_test.cpp bounds the error)
+    const kernels::ScorerData& s, const double* means, const double* covs,
+    std::size_t count, double* out, double* scratch);
+
+}  // namespace ddc::linalg::simd::detail
+
+#endif  // DDC_LINALG_HAVE_AVX2_TU

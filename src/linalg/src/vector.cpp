@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include <ddc/common/error.hpp>
+#include <ddc/linalg/kernels.hpp>
 
 namespace ddc::linalg {
 
@@ -41,9 +42,10 @@ Vector operator-(Vector v) { return v *= -1.0; }
 
 double dot(const Vector& a, const Vector& b) {
   DDC_EXPECTS(a.dim() == b.dim());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.dim(); ++i) acc += a[i] * b[i];
-  return acc;
+  const std::size_t n = a.dim();
+  return kernels::dispatch_dim(n, [&](auto d) {
+    return kernels::dot<d()>(a.data().data(), b.data().data(), n);
+  });
 }
 
 double norm2(const Vector& v) noexcept {
@@ -66,12 +68,10 @@ double norm_inf(const Vector& v) noexcept {
 
 double distance2(const Vector& a, const Vector& b) {
   DDC_EXPECTS(a.dim() == b.dim());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.dim(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  const std::size_t n = a.dim();
+  return kernels::dispatch_dim(n, [&](auto d) {
+    return kernels::distance2<d()>(a.data().data(), b.data().data(), n);
+  });
 }
 
 double angle_between(const Vector& a, const Vector& b) {

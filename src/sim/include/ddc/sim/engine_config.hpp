@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include <ddc/linalg/simd.hpp>
 #include <ddc/sim/async_runner.hpp>
 #include <ddc/sim/gossip_node.hpp>
 #include <ddc/sim/round_runner.hpp>
@@ -122,6 +123,10 @@ struct AsyncTiming {
 struct EngineConfig : CommonRunnerOptions {
   TopologySpec topology;
   FaultModel faults;
+  /// Math-kernel dispatch policy (linalg/simd.hpp): auto keeps the
+  /// bit-exact tiers, avx2 additionally opts into the fast-math tier.
+  /// Applied process-wide by the tools via linalg::simd::configure.
+  linalg::simd::Mode simd = linalg::simd::Mode::auto_detect;
   /// Worker threads for the parallel phases: 1 = fully sequential, 0 =
   /// one per hardware thread. Results are identical at any setting.
   std::size_t parallelism = 1;

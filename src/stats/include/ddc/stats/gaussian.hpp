@@ -9,6 +9,7 @@
 #include <vector>
 
 #include <ddc/linalg/cholesky.hpp>
+#include <ddc/linalg/kernels.hpp>
 #include <ddc/linalg/matrix.hpp>
 #include <ddc/linalg/vector.hpp>
 #include <ddc/stats/rng.hpp>
@@ -83,25 +84,44 @@ class Gaussian {
 /// Gaussians (Section 5.2).
 [[nodiscard]] double expected_log_pdf(const Gaussian& a, const Gaussian& b);
 
+class GaussianBatch;
+
 /// Precomputed invariants of `expected_log_pdf(·, model)`: the Cholesky
 /// factor, inverse, and log-determinant of the model covariance depend
 /// only on the model, so the EM E step — which scores every input
 /// component against every model component — factorizes each model once
 /// per iteration through this scorer instead of once per (input, model)
 /// pair. `score(a)` is bit-identical to `expected_log_pdf(a, model)`
-/// (the free function is implemented through this class).
+/// (the free function is implemented through this class). The
+/// invariants are packed flat ([mean | L | Σ⁻¹], row-major) so the
+/// fixed-dimension kernels (linalg/kernels.hpp) and the SIMD batch
+/// kernels (linalg/simd.hpp) read them without indirection.
 class ExpectedLogPdfScorer {
  public:
   explicit ExpectedLogPdfScorer(const Gaussian& model);
 
+  [[nodiscard]] std::size_t dim() const noexcept { return d_; }
+
   /// E_{x~a}[log model(x)]. Requires `a.dim() == model.dim()`.
   [[nodiscard]] double score(const Gaussian& a) const;
 
+  /// Scores every component of `batch` against the model, writing
+  /// `out[0..batch.size())`. One pass per model through the SoA inputs,
+  /// dispatched to the simd-selected batch kernel; `out[i]` is
+  /// bit-identical to `score(batch component i)` on every default-path
+  /// tier (only the opt-in fast-math tier relaxes this). Requires
+  /// `batch.dim() == model.dim()` when the batch is nonempty.
+  void score_batch(const GaussianBatch& batch, double* out) const;
+
  private:
-  linalg::Vector mean_;
-  linalg::Cholesky factor_;
-  linalg::Matrix inverse_;
-  double base_;  // d·log 2π + log|Σ_model|, the input-independent terms
+  [[nodiscard]] linalg::kernels::ScorerData view() const noexcept;
+
+  std::size_t d_ = 0;
+  double base_ = 0.0;  // d·log 2π + log|Σ_model|, input-independent
+  /// Packed model invariants: mean (d), then L (d²), then Σ⁻¹ (d²).
+  std::vector<double> store_;
+  /// Kernel workspace (8·d doubles) — scoring is logically const.
+  mutable std::vector<double> scratch_;
 };
 
 /// Moment-matched merge of weighted Gaussians: the single Gaussian with the

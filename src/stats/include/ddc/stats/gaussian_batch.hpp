@@ -1,0 +1,59 @@
+// Structure-of-arrays packing of a set of Gaussians.
+//
+// The EM E step scores every input component against every model
+// component; doing that through the object layout (one Vector + one
+// Matrix per Gaussian, checked element accessors) costs a pointer chase
+// and a bounds check per load. This container packs the means
+// (count×d) and covariances (count×d², row-major) contiguously — the
+// input layout of ExpectedLogPdfScorer::score_batch and the SIMD batch
+// kernels behind it. Pack once per EM run, score once per (model,
+// iteration).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <ddc/stats/mixture.hpp>
+
+namespace ddc::stats {
+
+/// Reusable SoA view of Gaussian parameters: assign() clears and
+/// refills without shrinking capacity, so per-round scratch instances
+/// stop allocating once warm.
+class GaussianBatch {
+ public:
+  GaussianBatch() = default;
+
+  void clear() noexcept {
+    count_ = 0;
+    means_.clear();
+    covs_.clear();
+  }
+
+  /// Pre-sizes the storage for `count` components of dimension `dim`.
+  void reserve(std::size_t count, std::size_t dim);
+
+  /// Appends one Gaussian. The first component fixes the batch
+  /// dimension; later components must match it.
+  void push_back(const Gaussian& g);
+
+  /// Repacks the batch from the mixture's components.
+  void assign(const GaussianMixture& mixture);
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t dim() const noexcept { return d_; }
+
+  /// Packed means, count×d row-major.
+  [[nodiscard]] const double* means() const noexcept { return means_.data(); }
+  /// Packed covariances, count×d² row-major.
+  [[nodiscard]] const double* covs() const noexcept { return covs_.data(); }
+
+ private:
+  std::size_t d_ = 0;
+  std::size_t count_ = 0;
+  std::vector<double> means_;
+  std::vector<double> covs_;
+};
+
+}  // namespace ddc::stats

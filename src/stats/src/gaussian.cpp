@@ -3,8 +3,12 @@
 #include <cmath>
 #include <numbers>
 
+#include <algorithm>
+
 #include <ddc/common/error.hpp>
 #include <ddc/linalg/moments.hpp>
+#include <ddc/linalg/simd.hpp>
+#include <ddc/stats/gaussian_batch.hpp>
 
 namespace ddc::stats {
 
@@ -88,35 +92,53 @@ double bhattacharyya(const Gaussian& a, const Gaussian& b) {
 }
 
 double expected_log_pdf(const Gaussian& a, const Gaussian& b) {
-  // One-shot form of ExpectedLogPdfScorer(b).score(a) — same values
-  // combined in the same order (scorer_test checks the equivalence
-  // exactly), without paying the scorer's member copies. Callers scoring
-  // many inputs against one model should hold a scorer instead.
+  // Rides the hoisted scorer so the one-shot path shares the packed
+  // kernel implementation instead of duplicating the Cholesky/inverse
+  // transcription inline (scorer_test checks the exact equivalence to
+  // the textbook formula). Callers scoring many inputs against one
+  // model should hold a scorer — or a GaussianBatch — instead.
   DDC_EXPECTS(a.dim() == b.dim());
-  const double d = static_cast<double>(a.dim());
-  const Cholesky fb = linalg::regularized_cholesky(b.cov());
-  const double tr = linalg::trace_product(fb.inverse(), a.cov());
-  const double maha = fb.mahalanobis_squared(a.mean() - b.mean());
-  return -0.5 *
-         (d * std::log(2.0 * std::numbers::pi) + fb.log_det() + tr + maha);
+  return ExpectedLogPdfScorer(b).score(a);
 }
 
 ExpectedLogPdfScorer::ExpectedLogPdfScorer(const Gaussian& model)
-    : mean_(model.mean()),
-      factor_(linalg::regularized_cholesky(model.cov())),
-      inverse_(factor_.inverse()),
-      base_(static_cast<double>(model.dim()) *
-                std::log(2.0 * std::numbers::pi) +
-            factor_.log_det()) {}
+    : d_(model.dim()), scratch_(8 * model.dim()) {
+  const Cholesky factor = linalg::regularized_cholesky(model.cov());
+  const Matrix inverse = factor.inverse();
+  base_ = static_cast<double>(d_) * std::log(2.0 * std::numbers::pi) +
+          factor.log_det();
+  store_.resize(d_ + 2 * d_ * d_);
+  double* out = store_.data();
+  out = std::copy(model.mean().data().begin(), model.mean().data().end(), out);
+  out = std::copy(factor.lower().data().begin(), factor.lower().data().end(),
+                  out);
+  std::copy(inverse.data().begin(), inverse.data().end(), out);
+}
+
+linalg::kernels::ScorerData ExpectedLogPdfScorer::view() const noexcept {
+  const double* base = store_.data();
+  return {d_, base, base + d_, base + d_ + d_ * d_, base_};
+}
 
 double ExpectedLogPdfScorer::score(const Gaussian& a) const {
-  DDC_EXPECTS(a.dim() == mean_.dim());
+  DDC_EXPECTS(a.dim() == d_);
   // E_{x~N(µa,Σa)}[log N(x; µb, Σb)]
   //   = −½ (d log 2π + log|Σb| + tr(Σb⁻¹ Σa) + (µa−µb)ᵀ Σb⁻¹ (µa−µb)).
-  // base_ carries the first two (input-independent) terms.
-  const double tr = linalg::trace_product(inverse_, a.cov());
-  const double maha = factor_.mahalanobis_squared(a.mean() - mean_);
-  return -0.5 * (base_ + tr + maha);
+  // base_ carries the first two (input-independent) terms; the kernel
+  // performs the exact arithmetic of the pre-kernel implementation
+  // (trace product with zero-skip, then forward substitution).
+  return linalg::kernels::dispatch_dim(d_, [&](auto d) {
+    return linalg::kernels::score_one<d()>(view(), a.mean().data().data(),
+                                           a.cov().data().data(),
+                                           scratch_.data(), d_);
+  });
+}
+
+void ExpectedLogPdfScorer::score_batch(const GaussianBatch& batch,
+                                       double* out) const {
+  DDC_EXPECTS(batch.empty() || batch.dim() == d_);
+  linalg::simd::batch_score_kernel()(view(), batch.means(), batch.covs(),
+                                     batch.size(), out, scratch_.data());
 }
 
 Gaussian moment_match(const std::vector<WeightedGaussian>& parts) {

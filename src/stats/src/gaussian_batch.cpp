@@ -1,0 +1,33 @@
+#include <ddc/stats/gaussian_batch.hpp>
+
+#include <ddc/common/assert.hpp>
+
+namespace ddc::stats {
+
+void GaussianBatch::reserve(std::size_t count, std::size_t dim) {
+  means_.reserve(count * dim);
+  covs_.reserve(count * dim * dim);
+}
+
+void GaussianBatch::push_back(const Gaussian& g) {
+  if (count_ == 0) {
+    d_ = g.dim();
+  } else {
+    DDC_EXPECTS(g.dim() == d_);
+  }
+  const std::vector<double>& mean = g.mean().data();
+  const std::vector<double>& cov = g.cov().data();
+  means_.insert(means_.end(), mean.begin(), mean.end());
+  covs_.insert(covs_.end(), cov.begin(), cov.end());
+  ++count_;
+}
+
+void GaussianBatch::assign(const GaussianMixture& mixture) {
+  clear();
+  reserve(mixture.size(), mixture.dim());
+  for (const WeightedGaussian& part : mixture.components()) {
+    push_back(part.gaussian);
+  }
+}
+
+}  // namespace ddc::stats

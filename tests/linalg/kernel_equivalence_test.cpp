@@ -1,0 +1,335 @@
+// Equivalence matrix for the fixed-dimension kernel layer.
+//
+// The kernels (linalg/kernels.hpp) promise BIT-IDENTICAL results to the
+// generic dynamic-dimension transcription for every primitive, at every
+// specialized dimension d = 1..4 — the determinism goldens hash every
+// mantissa bit downstream of them. These tests enforce the promise
+// exhaustively: random SPD inputs plus the adversarial near-singular
+// shapes the protocol actually produces (zero covariance / point
+// masses, tiny-jitter regularized factors, strongly correlated
+// covariances), each compared against a straight re-implementation of
+// the pre-kernel arithmetic. The lanewise AVX2 batch kernel (when the
+// binary and CPU have it) is held to the same standard in
+// tests/stats/score_batch_test.cpp.
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/linalg/cholesky.hpp>
+#include <ddc/linalg/kernels.hpp>
+#include <ddc/linalg/matrix.hpp>
+#include <ddc/linalg/moments.hpp>
+#include <ddc/linalg/vector.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace {
+
+using ddc::linalg::Matrix;
+using ddc::linalg::Vector;
+namespace kernels = ddc::linalg::kernels;
+
+// ---------------------------------------------------------------------------
+// Reference implementations: line-for-line copies of the pre-kernel
+// generic loops, kept here as the immutable comparison oracle.
+// ---------------------------------------------------------------------------
+
+bool ref_cholesky(const Matrix& a, Matrix& l) {
+  const std::size_t n = a.rows();
+  l = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l(i, k) * l(j, k);
+      l(i, j) = acc / ljj;
+    }
+  }
+  return true;
+}
+
+Vector ref_solve_lower(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l(i, k) * y[k];
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+Vector ref_solve(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  Vector y = ref_solve_lower(l, b);
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l(k, ii) * x[k];
+    x[ii] = acc / l(ii, ii);
+  }
+  return x;
+}
+
+Matrix ref_inverse(const Matrix& l) {
+  const std::size_t n = l.rows();
+  Matrix inv(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    Vector e(n);
+    e[c] = 1.0;
+    const Vector col = ref_solve(l, e);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+double ref_log_det(const Matrix& l) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) acc += std::log(l(i, i));
+  return 2.0 * acc;
+}
+
+double ref_trace_product(const Matrix& a, const Matrix& b) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      acc += aik * b(k, i);
+    }
+    total += acc;
+  }
+  return total;
+}
+
+double ref_dot(const Vector& a, const Vector& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.dim(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Input generators: random SPD plus the adversarial near-singular set.
+// ---------------------------------------------------------------------------
+
+Matrix random_spd(std::size_t d, ddc::stats::Rng& rng, double ridge) {
+  Matrix b(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) b(r, c) = rng.normal();
+  }
+  Matrix a = b * ddc::linalg::transpose(b);
+  for (std::size_t i = 0; i < d; ++i) a(i, i) += ridge;
+  return ddc::linalg::symmetrize(a);
+}
+
+/// The shapes the protocol actually feeds these kernels: healthy SPD,
+/// point-mass covariance regularized by the smallest jitter, barely
+/// ridged random products, and strongly correlated (near-rank-1)
+/// covariances.
+std::vector<Matrix> adversarial_spd(std::size_t d, ddc::stats::Rng& rng) {
+  std::vector<Matrix> out;
+  out.push_back(random_spd(d, rng, 0.5));
+  // Zero covariance + the regularizer's first jitter step (1e-9 I) —
+  // what a point-mass summary factorizes as.
+  Matrix jittered(d, d);
+  for (std::size_t i = 0; i < d; ++i) jittered(i, i) = 1e-9;
+  out.push_back(jittered);
+  // Barely positive definite.
+  out.push_back(random_spd(d, rng, 1e-9));
+  // Near-rank-1: u uᵀ + tiny ridge (condition number ~1e12).
+  Matrix u(d, 1);
+  for (std::size_t r = 0; r < d; ++r) u(r, 0) = rng.normal();
+  Matrix nearly = u * ddc::linalg::transpose(u);
+  for (std::size_t i = 0; i < d; ++i) nearly(i, i) += 1e-12;
+  out.push_back(ddc::linalg::symmetrize(nearly));
+  // Wildly mixed scales on the diagonal.
+  Matrix scales(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    scales(i, i) = std::pow(10.0, static_cast<double>(i) * 4.0 - 6.0);
+  }
+  out.push_back(scales);
+  return out;
+}
+
+Vector random_vector(std::size_t d, ddc::stats::Rng& rng) {
+  Vector v(d);
+  for (std::size_t i = 0; i < d; ++i) v[i] = rng.normal();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// The matrix: every kernel, d = 1..4 (the specialized dims) and 5..8
+// (the dynamic instantiation), random + adversarial inputs, EXPECT_EQ.
+// ---------------------------------------------------------------------------
+
+class KernelEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KernelEquivalence, CholeskyFactorMatchesReference) {
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(100 + d);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (const Matrix& a : adversarial_spd(d, rng)) {
+      Matrix ref_l;
+      const bool ref_ok = ref_cholesky(a, ref_l);
+      Matrix l(d, d);
+      const bool ok = kernels::dispatch_dim(d, [&](auto fd) {
+        return kernels::cholesky_factor<fd()>(a.data().data(),
+                                              l.data().data(), d);
+      });
+      ASSERT_EQ(ok, ref_ok);
+      if (!ok) continue;
+      EXPECT_EQ(l, ref_l);
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, SolvePathsMatchReference) {
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(200 + d);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (const Matrix& a : adversarial_spd(d, rng)) {
+      Matrix l(d, d);
+      if (!kernels::dispatch_dim(d, [&](auto fd) {
+            return kernels::cholesky_factor<fd()>(a.data().data(),
+                                                  l.data().data(), d);
+          })) {
+        continue;
+      }
+      const Vector b = random_vector(d, rng);
+      // solve_lower
+      Vector y(d);
+      kernels::dispatch_dim(d, [&](auto fd) {
+        kernels::solve_lower<fd()>(l.data().data(), b.data().data(),
+                                   y.data().data(), d);
+      });
+      const Vector ref_y = ref_solve_lower(l, b);
+      EXPECT_EQ(y, ref_y);
+      // full solve (forward + transposed-back substitution)
+      Vector x(d);
+      kernels::dispatch_dim(d, [&](auto fd) {
+        kernels::solve_upper_transposed<fd()>(l.data().data(),
+                                              ref_y.data().data(),
+                                              x.data().data(), d);
+      });
+      EXPECT_EQ(x, ref_solve(l, b));
+      // mahalanobis = dot(y, y) after the forward solve
+      std::vector<double> scratch(d);
+      const double maha = kernels::dispatch_dim(d, [&](auto fd) {
+        return kernels::mahalanobis_squared<fd()>(
+            l.data().data(), b.data().data(), scratch.data(), d);
+      });
+      EXPECT_EQ(maha, ref_dot(ref_y, ref_y));
+      // inverse from factor == column-by-column solve of the identity
+      Matrix inv(d, d);
+      std::vector<double> scratch2(2 * d);
+      kernels::dispatch_dim(d, [&](auto fd) {
+        kernels::inverse_from_factor<fd()>(l.data().data(), inv.data().data(),
+                                           scratch2.data(), d);
+      });
+      EXPECT_EQ(inv, ref_inverse(l));
+      // log det
+      const double ld = kernels::dispatch_dim(d, [&](auto fd) {
+        return kernels::log_det_from_factor<fd()>(l.data().data(), d);
+      });
+      EXPECT_EQ(ld, ref_log_det(l));
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, TraceProductDotAndMomentsMatchReference) {
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(300 + d);
+  for (int rep = 0; rep < 50; ++rep) {
+    const Matrix a = random_spd(d, rng, 1e-6);
+    const Matrix b = random_spd(d, rng, 0.5);
+    EXPECT_EQ(ddc::linalg::trace_product(a, b), ref_trace_product(a, b));
+    // Zero-skip coverage: a diagonal (mostly-zero) left factor.
+    Matrix diag(d, d);
+    for (std::size_t i = 0; i < d; ++i) diag(i, i) = rng.normal();
+    EXPECT_EQ(ddc::linalg::trace_product(diag, b),
+              ref_trace_product(diag, b));
+
+    const Vector u = random_vector(d, rng);
+    const Vector v = random_vector(d, rng);
+    EXPECT_EQ(ddc::linalg::dot(u, v), ref_dot(u, v));
+
+    // add_scaled / add_scaled_spread / add_scaled_outer against their
+    // elementwise reference loops.
+    const double scale = rng.uniform(0.1, 3.0);
+    Vector acc = random_vector(d, rng);
+    Vector ref_acc = acc;
+    ddc::linalg::add_scaled(acc, scale, u);
+    for (std::size_t i = 0; i < d; ++i) ref_acc[i] += scale * u[i];
+    EXPECT_EQ(acc, ref_acc);
+
+    Matrix macc = random_spd(d, rng, 0.5);
+    Matrix ref_macc = macc;
+    ddc::linalg::add_scaled_spread(macc, scale, b, u);
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        ref_macc(r, c) += scale * (b(r, c) + u[r] * u[c]);
+      }
+    }
+    EXPECT_EQ(macc, ref_macc);
+
+    Matrix oacc = random_spd(d, rng, 0.5);
+    Matrix ref_oacc = oacc;
+    kernels::dispatch_dim(d, [&](auto fd) {
+      kernels::add_scaled_outer<fd()>(oacc.data().data(), scale,
+                                      u.data().data(), d);
+    });
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        ref_oacc(r, c) += scale * (u[r] * u[c]);
+      }
+    }
+    EXPECT_EQ(oacc, ref_oacc);
+  }
+}
+
+TEST_P(KernelEquivalence, CholeskyClassMatchesReferenceEndToEnd) {
+  // The public Cholesky class (now kernel-backed) against the reference
+  // pipeline on the adversarial set, including the regularized path.
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(400 + d);
+  for (int rep = 0; rep < 20; ++rep) {
+    for (const Matrix& a : adversarial_spd(d, rng)) {
+      Matrix ref_l;
+      if (!ref_cholesky(a, ref_l)) continue;
+      const ddc::linalg::Cholesky f(a);
+      EXPECT_EQ(f.lower(), ref_l);
+      EXPECT_EQ(f.inverse(), ref_inverse(ref_l));
+      EXPECT_EQ(f.log_det(), ref_log_det(ref_l));
+      const Vector b = random_vector(d, rng);
+      EXPECT_EQ(f.solve(b), ref_solve(ref_l, b));
+      const Vector y = ref_solve_lower(ref_l, b);
+      EXPECT_EQ(f.mahalanobis_squared(b), ref_dot(y, y));
+    }
+  }
+}
+
+// d = 1..4 exercise the unrolled specializations; 5..8 the dynamic
+// instantiation through the same dispatcher.
+INSTANTIATE_TEST_SUITE_P(AllDims, KernelEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(KernelDispatch, SelectsSpecializationForSmallDims) {
+  for (std::size_t d = 1; d <= 8; ++d) {
+    const std::size_t selected =
+        kernels::dispatch_dim(d, [](auto fd) { return std::size_t{fd()}; });
+    if (d <= 4) {
+      EXPECT_EQ(selected, d);
+    } else {
+      EXPECT_EQ(selected, kernels::kDynamic);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Batched scoring: equivalence matrix + fast-math error bounds.
+//
+// ExpectedLogPdfScorer::score_batch must be bit-identical to score()
+// per input on every default-path tier: the scalar reference kernel by
+// construction, and the lanewise AVX2 kernel because each SIMD lane
+// executes the exact scalar operation sequence (simd_avx2.cpp). The
+// fast-math kernel re-associates the trace term by design, so it gets
+// an explicit error bound instead: the trace is a sum of d² products
+// re-grouped into 4 partial sums, so the defect is bounded by
+// 64·ε·Σ|Σb⁻¹ ∘ Σa| (a standard reassociation bound with a wide safety
+// margin), and the score defect by half that. Fast-math never runs in
+// golden/digest tests — it is only reachable through an explicit
+// --simd=avx2 / Mode::avx2 opt-in.
+#include <cfloat>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <ddc/common/error.hpp>
+#include <ddc/linalg/cholesky.hpp>
+#include <ddc/linalg/simd.hpp>
+#include <ddc/stats/gaussian.hpp>
+#include <ddc/stats/gaussian_batch.hpp>
+#include <ddc/stats/mixture.hpp>
+#include <ddc/stats/rng.hpp>
+
+namespace {
+
+using ddc::linalg::Matrix;
+using ddc::linalg::Vector;
+using ddc::stats::Gaussian;
+using ddc::stats::GaussianBatch;
+using ddc::stats::GaussianMixture;
+namespace simd = ddc::linalg::simd;
+
+/// Restores the default (auto) dispatch mode on scope exit so these
+/// tests cannot leak a forced tier into the rest of the binary.
+struct ModeGuard {
+  ~ModeGuard() { simd::configure(simd::Mode::auto_detect); }
+};
+
+Matrix random_spd(std::size_t d, ddc::stats::Rng& rng, double ridge) {
+  Matrix b(d, d);
+  for (std::size_t r = 0; r < d; ++r) {
+    for (std::size_t c = 0; c < d; ++c) b(r, c) = rng.normal();
+  }
+  Matrix a = b * ddc::linalg::transpose(b);
+  for (std::size_t i = 0; i < d; ++i) a(i, i) += ridge;
+  return ddc::linalg::symmetrize(a);
+}
+
+Vector random_vector(std::size_t d, ddc::stats::Rng& rng) {
+  Vector v(d);
+  for (std::size_t i = 0; i < d; ++i) v[i] = rng.normal();
+  return v;
+}
+
+/// Mixed batch: healthy components, point masses (zero covariance),
+/// barely-ridged and near-rank-1 covariances — the shapes an EM E step
+/// actually scores. Sized to cover both the 4-lane body and the
+/// scalar remainder of the lanewise kernel (size % 4 == 3).
+GaussianMixture adversarial_inputs(std::size_t d, ddc::stats::Rng& rng) {
+  GaussianMixture out;
+  for (int i = 0; i < 4; ++i) {
+    out.add({1.0, Gaussian(random_vector(d, rng), random_spd(d, rng, 0.5))});
+  }
+  out.add({1.0, Gaussian::point_mass(random_vector(d, rng))});
+  out.add({1.0, Gaussian(random_vector(d, rng), random_spd(d, rng, 1e-9))});
+  Matrix u(d, 1);
+  for (std::size_t r = 0; r < d; ++r) u(r, 0) = rng.normal();
+  Matrix nearly = u * ddc::linalg::transpose(u);
+  for (std::size_t i = 0; i < d; ++i) nearly(i, i) += 1e-10;
+  out.add({1.0,
+           Gaussian(random_vector(d, rng), ddc::linalg::symmetrize(nearly))});
+  return out;
+}
+
+std::vector<Gaussian> test_models(std::size_t d, ddc::stats::Rng& rng) {
+  std::vector<Gaussian> models;
+  models.push_back(Gaussian(random_vector(d, rng), random_spd(d, rng, 0.5)));
+  models.push_back(Gaussian::point_mass(random_vector(d, rng)));
+  models.push_back(Gaussian(random_vector(d, rng), random_spd(d, rng, 1e-6)));
+  return models;
+}
+
+class ScoreBatch : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScoreBatch, MatchesScoreExactlyOnDefaultPath) {
+  // Whatever the ambient tier is (scalar everywhere, lanewise AVX2 on
+  // capable hosts), score_batch must equal score() bit for bit.
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(500 + d);
+  for (int rep = 0; rep < 20; ++rep) {
+    const GaussianMixture inputs = adversarial_inputs(d, rng);
+    GaussianBatch batch;
+    batch.assign(inputs);
+    std::vector<double> out(batch.size());
+    for (const Gaussian& model : test_models(d, rng)) {
+      const ddc::stats::ExpectedLogPdfScorer scorer(model);
+      scorer.score_batch(batch, out.data());
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        EXPECT_EQ(out[i], scorer.score(inputs[i].gaussian))
+            << "d=" << d << " input=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(ScoreBatch, ScalarAndLanewiseKernelsBitIdentical) {
+  // The heart of the bit-exactness contract: the lanewise AVX2 kernel
+  // (when this binary and CPU have it) against the scalar reference,
+  // same inputs, EXPECT_EQ on every output.
+  const simd::ScoreBatchFn lanewise = simd::avx2_lanewise_score_kernel();
+  if (lanewise == nullptr || !simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "no AVX2 kernels in this binary/CPU";
+  }
+  const simd::ScoreBatchFn scalar = simd::scalar_score_kernel();
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(600 + d);
+  ModeGuard guard;
+  for (int rep = 0; rep < 20; ++rep) {
+    const GaussianMixture inputs = adversarial_inputs(d, rng);
+    GaussianBatch batch;
+    batch.assign(inputs);
+    std::vector<double> scalar_out(batch.size());
+    std::vector<double> lane_out(batch.size());
+    for (const Gaussian& model : test_models(d, rng)) {
+      const ddc::stats::ExpectedLogPdfScorer scorer(model);
+      simd::configure(simd::Mode::scalar);
+      ASSERT_EQ(simd::batch_score_kernel(), scalar);
+      scorer.score_batch(batch, scalar_out.data());
+      simd::configure(simd::Mode::auto_detect);
+      ASSERT_EQ(simd::batch_score_kernel(), lanewise);
+      scorer.score_batch(batch, lane_out.data());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        EXPECT_EQ(lane_out[i], scalar_out[i]) << "d=" << d << " input=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(ScoreBatch, FastMathWithinDocumentedErrorBound) {
+  // Error-bound contract for the fast-math tier: the only deviation is
+  // the re-associated trace term, so per input
+  //   |fast − scalar| ≤ ½ · 64 · ε · Σₑ |Σb⁻¹[e] · Σa[e]|.
+  // The 64·ε factor is deliberately generous (the true reassociation
+  // constant for ≤16 terms in 4 partial sums is a few ε); a kernel bug
+  // (wrong element, dropped term) lands orders of magnitude outside it.
+  const simd::ScoreBatchFn fast = simd::fast_math_score_kernel();
+  if (fast == nullptr || !simd::cpu_supports_avx2()) {
+    GTEST_SKIP() << "no AVX2 kernels in this binary/CPU";
+  }
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(700 + d);
+  for (int rep = 0; rep < 20; ++rep) {
+    const GaussianMixture inputs = adversarial_inputs(d, rng);
+    GaussianBatch batch;
+    batch.assign(inputs);
+    std::vector<double> scalar_out(batch.size());
+    std::vector<double> fast_out(batch.size());
+    std::vector<double> scratch(8 * d);
+    for (const Gaussian& model : test_models(d, rng)) {
+      const ddc::stats::ExpectedLogPdfScorer scorer(model);
+      scorer.score_batch(batch, scalar_out.data());  // ambient: bit-exact
+      // Drive the fast-math kernel directly through the seam's accessor
+      // (the golden-path scorer never selects it without Mode::avx2).
+      const Matrix inverse =
+          ddc::linalg::regularized_cholesky(model.cov()).inverse();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const Matrix& cov = inputs[i].gaussian.cov();
+        double abs_sum = 0.0;
+        for (std::size_t r = 0; r < d; ++r) {
+          for (std::size_t c = 0; c < d; ++c) {
+            abs_sum += std::abs(inverse(r, c) * cov(r, c));
+          }
+        }
+        const double bound = 0.5 * 64.0 * DBL_EPSILON * abs_sum;
+        // Score the whole batch once per model, then check input i.
+        if (i == 0) {
+          ddc::stats::ExpectedLogPdfScorer probe(model);
+          // Reach the raw kernel with the probe's packed view via the
+          // public batch API under an explicit fast-math opt-in.
+          ModeGuard guard;
+          simd::configure(simd::Mode::avx2);
+          ASSERT_EQ(simd::batch_score_kernel(), fast);
+          ASSERT_TRUE(simd::fast_math_enabled());
+          probe.score_batch(batch, fast_out.data());
+        }
+        EXPECT_NEAR(fast_out[i], scalar_out[i], bound)
+            << "d=" << d << " input=" << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDims, ScoreBatch,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(SimdSeam, ParseAndNames) {
+  EXPECT_EQ(simd::parse_mode("auto"), simd::Mode::auto_detect);
+  EXPECT_EQ(simd::parse_mode("scalar"), simd::Mode::scalar);
+  EXPECT_EQ(simd::parse_mode("avx2"), simd::Mode::avx2);
+  EXPECT_FALSE(simd::parse_mode("fast").has_value());
+  EXPECT_STREQ(simd::mode_name(simd::Mode::auto_detect), "auto");
+  EXPECT_STREQ(simd::mode_name(simd::Mode::scalar), "scalar");
+  EXPECT_STREQ(simd::mode_name(simd::Mode::avx2), "avx2");
+}
+
+TEST(SimdSeam, ScalarModeForcesCleanFallback) {
+  ModeGuard guard;
+  simd::configure(simd::Mode::scalar);
+  EXPECT_EQ(simd::dispatch(), simd::Tier::scalar);
+  EXPECT_FALSE(simd::fast_math_enabled());
+  EXPECT_EQ(simd::batch_score_kernel(), simd::scalar_score_kernel());
+}
+
+TEST(SimdSeam, AutoNeverEnablesFastMath) {
+  ModeGuard guard;
+  simd::configure(simd::Mode::auto_detect);
+  EXPECT_FALSE(simd::fast_math_enabled());
+  if (simd::compiled_with_avx2() && simd::cpu_supports_avx2()) {
+    EXPECT_EQ(simd::dispatch(), simd::Tier::avx2);
+    EXPECT_EQ(simd::batch_score_kernel(), simd::avx2_lanewise_score_kernel());
+  } else {
+    EXPECT_EQ(simd::dispatch(), simd::Tier::scalar);
+  }
+}
+
+TEST(SimdSeam, Avx2ModeStrictWhenUnavailable) {
+  ModeGuard guard;
+  if (simd::compiled_with_avx2() && simd::cpu_supports_avx2()) {
+    simd::configure(simd::Mode::avx2);
+    EXPECT_EQ(simd::dispatch(), simd::Tier::avx2);
+    EXPECT_TRUE(simd::fast_math_enabled());
+  } else {
+    EXPECT_THROW(simd::configure(simd::Mode::avx2), ddc::ConfigError);
+  }
+}
+
+}  // namespace

@@ -103,10 +103,13 @@ const std::vector<Rule>& rules() {
        "marker)"},
       {"float-reorder",
        {"std::reduce", "std::execution::", "std::atomic<double>",
-        "std::atomic<float>", "atomic<double>", "atomic<float>"},
+        "std::atomic<float>", "atomic<double>", "atomic<float>", "fastmath",
+        "_mm256_hadd_pd"},
        "accumulation-order hazard (float addition is not associative; "
-       "reductions must run in a fixed sequential order, see "
-       "exec/parallel_for.hpp)"},
+       "reductions must run in a fixed sequential order — see "
+       "exec/parallel_for.hpp — and fast-math / horizontal-add SIMD "
+       "kernels re-associate by design, so every use needs an audited "
+       "allow marker and error-bound tests, never golden digests)"},
   };
   return kRules;
 }
@@ -289,6 +292,9 @@ int self_test() {
       {"wall-clock", "  auto t = std::chrono::steady_clock::now();\n"},
       {"float-reorder",
        "  double s = std::reduce(v.begin(), v.end(), 0.0);\n"},
+      {"float-reorder",
+       "  const __m256d h = _mm256_hadd_pd(acc, acc);\n"},
+      {"float-reorder", "  out[i] = score_batch_avx2_fastmath(s, x);\n"},
   };
   std::size_t failures = 0;
   for (const Plant& plant : plants) {

@@ -33,6 +33,7 @@
 #include <sstream>
 #include <thread>
 
+#include <ddc/linalg/simd.hpp>
 #include <ddc/cli/engine_flags.hpp>
 #include <ddc/gossip/network.hpp>
 #include <ddc/gossip/runners.hpp>
@@ -409,6 +410,7 @@ int main(int argc, char** argv) {
         ddc::cli::parse_engine_config(flags, node_flag_defaults(),
                                       kNodeFlagSet),
     };
+    ddc::linalg::simd::configure(config.engine.simd);
     if (config.shard_mode()) {
       if (config.nodes_per_shard == 0) {
         throw ddc::ConfigError("shard mode needs --nodes-per-shard > 0");

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <sstream>
 
+#include <ddc/linalg/simd.hpp>
 #include <ddc/cli/engine_flags.hpp>
 #include <ddc/gossip/network.hpp>
 #include <ddc/gossip/runners.hpp>
@@ -268,6 +269,7 @@ int main(int argc, char** argv) {
       return 0;
     }
     const ddc::sim::EngineConfig config = ddc::cli::parse_engine_config(flags);
+    ddc::linalg::simd::configure(config.simd);
     const ToolConfig tool{
         flags.get("protocol"),
         flags.get("workload"),
