@@ -44,6 +44,8 @@ struct Measurement {
   std::uint64_t frames = 0;
   std::uint64_t records = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t boundary_nodes = 0;
+  std::uint64_t polls_during_compute = 0;
 };
 
 template <typename MakeCluster>
@@ -63,6 +65,8 @@ Measurement measure(std::size_t rounds, MakeCluster make_cluster) {
     m.frames += stats.batch_frames_sent;
     m.records += stats.batch_records_sent;
     m.retransmits += stats.retransmits;
+    m.boundary_nodes += stats.boundary_nodes;
+    m.polls_during_compute += stats.polls_during_compute;
   }
   m.cut_edges = cluster.map().cut_edges(cluster.engine(0).topology());
   return m;
@@ -78,6 +82,8 @@ int main(int argc, char** argv) {
   flags.declare("rounds", "gossip rounds to time", "10");
   flags.declare("shards", "number of shards sharing the loopback fabric", "4");
   flags.declare("name", "label for the JSON record (default: derived)", "");
+  flags.declare("shard-map", "contiguous | edgecut node->shard assignment",
+                "contiguous");
   ddc::cli::EngineFlagSet set;
   set.timing = false;
   ddc::cli::declare_engine_flags(flags, {}, set);
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
     const auto rounds = static_cast<std::size_t>(flags.get_int("rounds"));
     const auto shards =
         static_cast<ddc::shard::ShardId>(flags.get_int("shards"));
+    const ddc::shard::Partitioner partitioner =
+        ddc::shard::parse_partitioner(flags.get("shard-map"));
 
     // Topology first: grid packing can round the vertex count up, and
     // the cluster needs one input per vertex.
@@ -107,13 +115,14 @@ int main(int argc, char** argv) {
     Measurement m;
     if (protocol == "centroid") {
       m = measure(rounds, [&] {
-        return ddc::shard::make_centroid_shard_cluster(std::move(topology),
-                                                       inputs, config, shards);
+        return ddc::shard::make_centroid_shard_cluster(
+            std::move(topology), inputs, config, shards, {}, partitioner);
       });
     } else if (protocol == "gm") {
       m = measure(rounds, [&] {
         return ddc::shard::make_gm_shard_cluster(std::move(topology), inputs,
-                                                 config, shards);
+                                                 config, shards, {}, {},
+                                                 partitioner);
       });
     } else {
       throw ddc::ConfigError("unknown protocol '" + protocol + "'");
@@ -126,6 +135,10 @@ int main(int argc, char** argv) {
       name = protocol + "/" +
              ddc::sim::topology_family_name(config.topology.family) + "/" +
              std::to_string(n) + "x" + std::to_string(shards);
+      if (partitioner != ddc::shard::Partitioner::contiguous) {
+        name += "-";
+        name += ddc::shard::partitioner_name(partitioner);
+      }
     }
 
     const double frames_per_round =
@@ -137,15 +150,21 @@ int main(int argc, char** argv) {
     // One record per line; keys are stable for the awk in bench_gate.sh.
     std::printf(
         "{\"name\":\"%s\",\"shards\":%u,\"nodes\":%zu,\"edges\":%zu,"
-        "\"cut_edges\":%zu,\"rounds\":%zu,\"build_s\":%.4f,\"run_s\":%.4f,"
+        "\"cut_edges\":%zu,\"shard_map\":\"%s\",\"rounds\":%zu,"
+        "\"build_s\":%.4f,\"run_s\":%.4f,"
         "\"rounds_per_s\":%.4f,\"frames_per_round\":%.1f,"
         "\"records_per_frame\":%.2f,\"retransmits\":%llu,"
+        "\"boundary_nodes\":%llu,\"polls_during_compute\":%llu,"
         "\"peak_rss_mb\":%.1f}\n",
         name.c_str(), static_cast<unsigned>(shards), m.nodes, m.edges,
-        m.cut_edges, m.rounds, m.build_s, m.run_s,
+        m.cut_edges,
+        std::string(ddc::shard::partitioner_name(partitioner)).c_str(),
+        m.rounds, m.build_s, m.run_s,
         static_cast<double>(m.rounds) / m.run_s, frames_per_round,
-        records_per_frame,
-        static_cast<unsigned long long>(m.retransmits), peak_rss_mb());
+        records_per_frame, static_cast<unsigned long long>(m.retransmits),
+        static_cast<unsigned long long>(m.boundary_nodes),
+        static_cast<unsigned long long>(m.polls_during_compute),
+        peak_rss_mb());
     return 0;
   } catch (const ddc::Error& e) {
     std::cerr << "bench_cluster: " << e.what() << '\n';

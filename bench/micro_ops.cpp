@@ -12,6 +12,7 @@
 #include <ddc/gossip/runners.hpp>
 #include <ddc/linalg/cholesky.hpp>
 #include <ddc/linalg/eigen_sym.hpp>
+#include <ddc/linalg/simd.hpp>
 #include <ddc/partition/greedy.hpp>
 #include <ddc/sim/event_queue.hpp>
 #include <ddc/sim/round_runner.hpp>
@@ -147,6 +148,29 @@ void BM_GreedyPartition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GreedyPartition)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_CentroidDistanceBatch(benchmark::State& state) {
+  // The greedy partition's distance-matrix fill in isolation: distances
+  // from one d-dimensional point to 256 packed points through the
+  // dispatched batch kernel (lanewise AVX2 on this host, scalar
+  // fallback elsewhere — both bit-identical to linalg::distance2).
+  const auto d = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kPoints = 256;
+  ddc::stats::Rng rng(33);
+  std::vector<double> a(d);
+  std::vector<double> bs(kPoints * d);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : bs) v = rng.normal();
+  std::vector<double> out(kPoints);
+  const ddc::linalg::simd::DistanceBatchFn kernel =
+      ddc::linalg::simd::batch_distance_kernel();
+  for (auto _ : state) {
+    kernel(a.data(), bs.data(), kPoints, out.data(), d);
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_CentroidDistanceBatch)->Arg(2)->Arg(4);
 
 void BM_GreedyPartitionNaive(benchmark::State& state) {
   // The "before" side: the retained O(m³) reference implementation. Not

@@ -79,14 +79,23 @@ if [[ "$MODE" == cluster* ]]; then
   fi
 
   # name|bench_cluster arguments. Keep in sync with BENCH_cluster.json.
+  # The geometric/ER pairs run once per partitioner: contiguous is
+  # cut-pessimal there (ids carry no locality), so the edgecut entries
+  # both gate the partitioner's cut and prove the throughput win.
   CLUSTER_TIER=(
     "centroid/grid/2048x4|--topology grid --nodes 2048 --shards 4 --rounds 50"
+    "centroid/grid/2048x4-edgecut|--topology grid --nodes 2048 --shards 4 --rounds 50 --shard-map edgecut"
     "centroid/grid/2048x1|--topology grid --nodes 2048 --shards 1 --rounds 50"
     "centroid/ring/4096x8|--topology ring --nodes 4096 --shards 8 --rounds 30"
+    "centroid/geometric/2048x4|--topology geometric --nodes 2048 --radius 0.05 --shards 4 --rounds 50"
+    "centroid/geometric/2048x4-edgecut|--topology geometric --nodes 2048 --radius 0.05 --shards 4 --rounds 50 --shard-map edgecut"
+    "centroid/er/2048x4|--topology er --nodes 2048 --er-prob 0.004 --shards 4 --rounds 50"
+    "centroid/er/2048x4-edgecut|--topology er --nodes 2048 --er-prob 0.004 --shards 4 --rounds 50 --shard-map edgecut"
     "gm/grid/256x4|--protocol gm --topology grid --nodes 256 --shards 4 --rounds 50"
   )
 
-  # run_cluster_tier — emit "name rounds_per_s peak_rss_mb records_per_frame".
+  # run_cluster_tier — emit
+  # "name rounds_per_s peak_rss_mb records_per_frame cut_edges".
   run_cluster_tier() {
     local entry name args line
     for entry in "$@"; do
@@ -99,9 +108,10 @@ if [[ "$MODE" == cluster* ]]; then
         for (i = 1; i < NF; ++i) {
           if ($i ~ /"rounds_per_s"/) rps = $(i + 1)
           if ($i ~ /"records_per_frame"/) rpf = $(i + 1)
+          if ($i ~ /"cut_edges"/) cut = $(i + 1)
           if ($i ~ /"peak_rss_mb"/) { rss = $(i + 1); gsub(/}/, "", rss) }
         }
-        print name, rps, rss, rpf
+        print name, rps, rss, rpf, cut
       }'
     done
   }
@@ -111,8 +121,8 @@ if [[ "$MODE" == cluster* ]]; then
     echo "Fresh \"gate\" block for BENCH_cluster.json:"
     echo "  \"gate\": {"
     run_cluster_tier "${CLUSTER_TIER[@]}" | awk '{
-      printf "    \"%s\": {\"rounds_per_s\": %s, \"peak_rss_mb\": %s, \"records_per_frame\": %s},\n",
-             $1, $2, $3, $4
+      printf "    \"%s\": {\"rounds_per_s\": %s, \"peak_rss_mb\": %s, \"records_per_frame\": %s, \"cut_edges\": %s},\n",
+             $1, $2, $3, $4, $5
     }' | sed '$ s/},$/}/'
     echo "  }"
     exit 0
@@ -120,33 +130,40 @@ if [[ "$MODE" == cluster* ]]; then
 
   echo "bench_gate: cluster mode (tolerance=±$(awk -v t="$TOLERANCE" 'BEGIN{printf "%.0f%%", t*100}') vs $BASELINE)"
   STATUS=0
-  while read -r name rps rss rpf; do
+  while read -r name rps rss rpf cut; do
     base_rps=""
     base_rss=""
     base_rpf=""
-    read -r base_rps base_rss base_rpf < <(awk -v key="\"$name\":" '
+    base_cut=""
+    read -r base_rps base_rss base_rpf base_cut < <(awk -v key="\"$name\":" '
       index($0, key) {
         for (i = 1; i <= NF; ++i) {
           if ($i ~ /"rounds_per_s"/) { v = $(i + 1); gsub(/[,}]/, "", v); r = v }
           if ($i ~ /"peak_rss_mb"/) { v = $(i + 1); gsub(/[,}]/, "", v); m = v }
           if ($i ~ /"records_per_frame"/) { v = $(i + 1); gsub(/[,}]/, "", v); f = v }
+          if ($i ~ /"cut_edges"/) { v = $(i + 1); gsub(/[,}]/, "", v); c = v }
         }
-        print r, m, f
+        print r, m, f, c
       }' "$BASELINE") || true
     if [[ -z "${base_rps:-}" || -z "${base_rss:-}" ]]; then
       echo "bench_gate: FAIL  $name missing from $BASELINE" >&2
       STATUS=1
       continue
     fi
-    verdict=$(awk -v rps="$rps" -v rss="$rss" -v rpf="$rpf" \
+    # cut_edges is deterministic for a fixed (topology, seed, shards,
+    # partitioner), so any increase over the baseline is a partitioner
+    # regression, not noise — gate it exactly.
+    verdict=$(awk -v rps="$rps" -v rss="$rss" -v rpf="$rpf" -v cut="$cut" \
                   -v brps="$base_rps" -v brss="$base_rss" \
-                  -v brpf="${base_rpf:-0}" -v t="$TOLERANCE" 'BEGIN {
+                  -v brpf="${base_rpf:-0}" -v bcut="${base_cut:--1}" \
+                  -v t="$TOLERANCE" 'BEGIN {
       slow = rps < brps / (1 + t)
       fat = rss > brss * (1 + t)
       unbatched = brpf > 1 && rpf <= 1
-      printf "%s rps=%.3g(min %.3g) rss=%.4gMB(max %.4g) rpf=%.3g",
-             (slow || fat || unbatched ? "FAIL" : "ok"), rps, brps / (1 + t),
-             rss, brss * (1 + t), rpf
+      cutworse = bcut >= 0 && cut > bcut
+      printf "%s rps=%.3g(min %.3g) rss=%.4gMB(max %.4g) rpf=%.3g cut=%d(max %d)",
+             (slow || fat || unbatched || cutworse ? "FAIL" : "ok"),
+             rps, brps / (1 + t), rss, brss * (1 + t), rpf, cut, bcut
     }')
     if [[ "$verdict" == FAIL* ]]; then
       echo "bench_gate: FAIL  $name  ${verdict#FAIL }" >&2

@@ -14,6 +14,7 @@
 #
 #   scripts/run_cluster.sh --shards 4 --nodes-per-shard 1000
 #   scripts/run_cluster.sh --shards 4 --nodes-per-shard 1000 --kill-shard 2
+#   scripts/run_cluster.sh --shards 4 --nodes-per-shard 512 --shard-map edgecut
 #
 # Exit status 0 iff the cluster converged and matches the simulator.
 set -euo pipefail
@@ -30,6 +31,7 @@ KILL_ID=""
 SHARDS=0
 NODES_PER_SHARD=0
 KILL_SHARD=""
+SHARD_MAP=contiguous
 BUILD_DIR=build
 # Numeric tolerances for the cross-checks. Weights drift by the residual
 # gossip imbalance; means sit on well-separated clusters (0 vs 25), so
@@ -37,7 +39,7 @@ BUILD_DIR=build
 WEIGHT_TOL=0.05
 MEAN_TOL=1.0
 
-usage() { sed -n '2,17p' "$0"; exit "${1:-0}"; }
+usage() { sed -n '2,18p' "$0"; exit "${1:-0}"; }
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
@@ -52,6 +54,7 @@ while [[ $# -gt 0 ]]; do
     --shards)          SHARDS=$2; shift 2 ;;
     --nodes-per-shard) NODES_PER_SHARD=$2; shift 2 ;;
     --kill-shard)      KILL_SHARD=$2; shift 2 ;;
+    --shard-map)       SHARD_MAP=$2; shift 2 ;;
     --build-dir)       BUILD_DIR=$2; shift 2 ;;
     -h|--help)         usage ;;
     *) echo "run_cluster.sh: unknown argument '$1'" >&2; usage 1 ;;
@@ -93,7 +96,7 @@ launch_member() {
     "$DDCNODE" --shard-id "$i" --num-shards "$SHARDS" \
       --nodes-per-shard "$NODES_PER_SHARD" --base-port "$BASE_PORT" \
       --protocol "$PROTOCOL" --seed "$SEED" --rounds "$ROUNDS" \
-      --loss-prob "$LOSS" --stats-json \
+      --shard-map "$SHARD_MAP" --loss-prob "$LOSS" --stats-json \
       > "$WORK_DIR/node$i.out" 2> "$WORK_DIR/node$i.err" &
   else
     "$DDCNODE" --id "$i" --nodes "$NODES" --base-port "$BASE_PORT" \
@@ -135,7 +138,7 @@ for attempt in 1 2 3 4 5; do
 done
 
 if [[ "$SHARDS" -gt 0 ]]; then
-  echo "cluster: $SHARDS shards x $NODES_PER_SHARD nodes ($PROTOCOL) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_SHARD:+, kill+restart shard $KILL_SHARD}"
+  echo "cluster: $SHARDS shards x $NODES_PER_SHARD nodes ($PROTOCOL, $SHARD_MAP map) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_SHARD:+, kill+restart shard $KILL_SHARD}"
 else
   echo "cluster: $NODES x ddcnode ($PROTOCOL) on 127.0.0.1:$BASE_PORT+, seed $SEED, loss $LOSS${KILL_ID:+, killing node $KILL_ID mid-run}"
 fi

@@ -40,6 +40,7 @@
 #include <cstddef>
 #include <limits>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include <ddc/common/assert.hpp>
@@ -53,14 +54,21 @@ using AgglomerationGroups = std::vector<std::vector<std::size_t>>;
 /// Merge the closest pair under `distance` until at most `k` groups
 /// remain. `distance(a, b)` is called with element slots a < b and must be
 /// a pure function of the elements' current values; `merge(a, b)` must
-/// fold element b into element a (slot b is never touched again). Returns
-/// the surviving groups in ascending lowest-member order; each group's
-/// first entry is the slot its merges accumulated into. Requires k ≥ 1.
-template <typename DistanceFn, typename MergeFn>
+/// fold element b into element a (slot b is never touched again).
+/// `fill_row(a, count, out)` computes the initial upper-triangle row of
+/// the distance cache — out[j] = distance(a, a+1+j) for j < count — and
+/// must be bit-identical to calling `distance` per entry (callers with a
+/// batched kernel, e.g. the packed centroid partition, hook it here; the
+/// fill runs before any merge, so slots are still the original
+/// contiguous indices). Returns the surviving groups in ascending
+/// lowest-member order; each group's first entry is the slot its merges
+/// accumulated into. Requires k ≥ 1.
+template <typename DistanceFn, typename MergeFn, typename RowFillFn>
 [[nodiscard]] AgglomerationGroups agglomerate_to_k(std::size_t size,
                                                    std::size_t k,
                                                    DistanceFn&& distance,
-                                                   MergeFn&& merge) {
+                                                   MergeFn&& merge,
+                                                   RowFillFn&& fill_row) {
   DDC_EXPECTS(k >= 1);
   AgglomerationGroups groups(size);
   for (std::size_t i = 0; i < size; ++i) groups[i] = {i};
@@ -82,12 +90,18 @@ template <typename DistanceFn, typename MergeFn>
     return dist[a * size + b];
   };
 
+  // Initial fill: live slots are still 0..size-1, so each row's
+  // upper-triangle entries are contiguous in the cache and fill_row can
+  // write them in one batched call. The nearest-neighbor scan stays a
+  // separate strict-< ascending pass — identical winners to a fused
+  // fill-and-scan loop because it reads the same values in the same
+  // order.
   for (std::size_t pa = 0; pa + 1 < live.size(); ++pa) {
     const std::size_t a = live[pa];
+    fill_row(a, size - a - 1, &cached(a, a + 1));
     for (std::size_t pb = pa + 1; pb < live.size(); ++pb) {
       const std::size_t b = live[pb];
-      const double d = distance(a, b);
-      cached(a, b) = d;
+      const double d = cached(a, b);
       if (d < nn_dist[a]) {
         nn_dist[a] = d;
         nn_slot[a] = b;
@@ -172,6 +186,22 @@ template <typename DistanceFn, typename MergeFn>
   out.reserve(live.size());
   for (const std::size_t s : live) out.push_back(std::move(groups[s]));
   return out;
+}
+
+/// Convenience overload: the initial row fill evaluates `distance` per
+/// entry (the reference behavior the batched hook must match).
+template <typename DistanceFn, typename MergeFn>
+[[nodiscard]] AgglomerationGroups agglomerate_to_k(std::size_t size,
+                                                   std::size_t k,
+                                                   DistanceFn&& distance,
+                                                   MergeFn&& merge) {
+  return agglomerate_to_k(
+      size, k, distance, std::forward<MergeFn>(merge),
+      [&distance](std::size_t a, std::size_t count, double* out) {
+        for (std::size_t j = 0; j < count; ++j) {
+          out[j] = distance(a, a + 1 + j);
+        }
+      });
 }
 
 }  // namespace ddc::common

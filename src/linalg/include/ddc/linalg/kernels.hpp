@@ -173,6 +173,18 @@ template <std::size_t D>
   return std::sqrt(acc);
 }
 
+/// Distances from one point `a` to `count` consecutively packed points
+/// (`bs` row-major count×d). Scalar reference tier: out[j] is
+/// bit-identical to distance2 on (a, bs + j·d).
+template <std::size_t D>
+void distance2_batch(const double* a, const double* bs, std::size_t count,
+                     double* out, std::size_t rd) noexcept {
+  const std::size_t n = dim_of<D>(rd);
+  for (std::size_t j = 0; j < count; ++j) {
+    out[j] = distance2<D>(a, bs + j * n, n);
+  }
+}
+
 /// `trace(a·b)` for square row-major d×d matrices — linalg::trace_product:
 /// per-row accumulator, ascending k, zero a(i,k) coefficients skipped
 /// (mirroring operator*'s sparse-coefficient skip), row sums added in

@@ -99,4 +99,23 @@ using ScoreBatchFn = void (*)(const kernels::ScorerData& s,
 /// never by golden digests.
 [[nodiscard]] ScoreBatchFn fast_math_score_kernel() noexcept;
 
+/// Batched centroid-distance kernel: Euclidean distances from one point
+/// `a` to `count` consecutively packed points (`bs` row-major count×d),
+/// writing `out[0..count)`. Every tier is bit-identical to
+/// kernels::distance2 per output — there is no fast-math variant, the
+/// centroid protocol's golden digests ride directly on these values.
+using DistanceBatchFn = void (*)(const double* a, const double* bs,
+                                 std::size_t count, double* out,
+                                 std::size_t d);
+
+/// The distance kernel matching the current dispatch() tier. Never null.
+[[nodiscard]] DistanceBatchFn batch_distance_kernel() noexcept;
+
+/// The scalar reference distance kernel (always available).
+[[nodiscard]] DistanceBatchFn scalar_distance_kernel() noexcept;
+
+/// The bit-exact lanewise AVX2 distance kernel, or nullptr when the
+/// binary has no AVX2 translation unit.
+[[nodiscard]] DistanceBatchFn avx2_lanewise_distance_kernel() noexcept;
+
 }  // namespace ddc::linalg::simd

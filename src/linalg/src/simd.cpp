@@ -22,6 +22,14 @@ void score_batch_scalar(const kernels::ScorerData& s, const double* means,
   });
 }
 
+/// Scalar reference: dispatch the fixed-d distance kernel on `d`.
+void distance_batch_scalar(const double* a, const double* bs,
+                           std::size_t count, double* out, std::size_t d) {
+  kernels::dispatch_dim(d, [&](auto dd) {
+    kernels::distance2_batch<dd()>(a, bs, count, out, d);
+  });
+}
+
 std::atomic<Tier> g_tier{Tier::scalar};
 std::atomic<bool> g_fast_math{false};
 std::once_flag g_env_default_once;
@@ -155,6 +163,29 @@ ScoreBatchFn avx2_lanewise_score_kernel() noexcept {
 ScoreBatchFn fast_math_score_kernel() noexcept {
 #if defined(DDC_LINALG_HAVE_AVX2_TU)
   return &detail::score_batch_avx2_fastmath;  // ddclint: allow(float-reorder) accessor for the error-bound tests; off the default path
+#else
+  return nullptr;
+#endif
+}
+
+DistanceBatchFn batch_distance_kernel() noexcept {
+  if (dispatch() == Tier::avx2) {
+#if defined(DDC_LINALG_HAVE_AVX2_TU)
+    // No fast-math variant: distances feed the centroid goldens, so the
+    // lanewise (bit-exact) kernel is the only vector tier.
+    return &detail::distance_batch_avx2_lanewise;
+#endif
+  }
+  return &distance_batch_scalar;
+}
+
+DistanceBatchFn scalar_distance_kernel() noexcept {
+  return &distance_batch_scalar;
+}
+
+DistanceBatchFn avx2_lanewise_distance_kernel() noexcept {
+#if defined(DDC_LINALG_HAVE_AVX2_TU)
+  return &detail::distance_batch_avx2_lanewise;
 #else
   return nullptr;
 #endif

@@ -4,7 +4,7 @@
 // baseline ISA, and runtime dispatch (simd.cpp) never routes here
 // unless the CPU reports AVX2.
 //
-// Two kernels live here:
+// Three kernels live here:
 //
 //   score_batch_avx2_lanewise — BIT-EXACT. Scores 4 inputs per pass
 //   with one input per SIMD lane. Every lane executes the exact scalar
@@ -16,6 +16,13 @@
 //   per lane, and nothing here compiles with -mfma, so no contraction.
 //   The kernel equivalence matrix asserts bit-identity to the scalar
 //   reference on every input it can construct.
+//
+//   distance_batch_avx2_lanewise — BIT-EXACT. Euclidean distances from
+//   one point to 4 packed points per pass, one point per lane, each
+//   lane running kernels::distance2's exact subtract/multiply/
+//   accumulate order; vsqrtpd is correctly rounded per lane like
+//   std::sqrt. Backs the greedy centroid partition's distance-matrix
+//   fill, so it feeds golden digests and has no fast-math variant.
 //
 //   score_batch_avx2_fastmath — NOT bit-exact (fast-math tier). The
 //   trace term re-associates the d² elementwise products into 4-lane
@@ -148,6 +155,41 @@ void batch_reassoc(const kernels::ScorerData& s, const double* means,
   }
 }
 
+/// Distances from `a` to packed points [base, base+4) lanewise — the
+/// exact scalar sequence of kernels::distance2 per lane: diff = a[i] −
+/// b[i], acc += diff·diff in ascending i, then one correctly-rounded
+/// square root (vsqrtpd is IEEE-exact per lane, like std::sqrt).
+template <std::size_t D>
+void distance4_lanewise(const double* a, const double* bs, std::size_t base,
+                        double* out, std::size_t rd) {
+  const std::size_t n = kernels::dim_of<D>(rd);
+  const double* b0 = bs + base * n;
+  const double* b1 = b0 + n;
+  const double* b2 = b1 + n;
+  const double* b3 = b2 + n;
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m256d diff = _mm256_sub_pd(
+        _mm256_set1_pd(a[i]), _mm256_set_pd(b3[i], b2[i], b1[i], b0[i]));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+  }
+  _mm256_storeu_pd(out + base, _mm256_sqrt_pd(acc));
+}
+
+template <std::size_t D>
+void distance_batch_lanewise(const double* a, const double* bs,
+                             std::size_t count, double* out, std::size_t rd) {
+  const std::size_t n = kernels::dim_of<D>(rd);
+  std::size_t j = 0;
+  for (; j + 4 <= count; j += 4) {
+    distance4_lanewise<D>(a, bs, j, out, rd);
+  }
+  // Remainder points take the scalar kernel — bit-identical anyway.
+  for (; j < count; ++j) {
+    out[j] = kernels::distance2<D>(a, bs + j * n, n);
+  }
+}
+
 }  // namespace
 
 void score_batch_avx2_lanewise(const kernels::ScorerData& s,
@@ -164,6 +206,14 @@ void score_batch_avx2_fastmath(  // ddclint: allow(float-reorder) fast-math tier
     std::size_t count, double* out, double* scratch) {
   kernels::dispatch_dim(s.d, [&](auto d) {
     batch_reassoc<d()>(s, means, covs, count, out, scratch);
+  });
+}
+
+void distance_batch_avx2_lanewise(const double* a, const double* bs,
+                                  std::size_t count, double* out,
+                                  std::size_t d) {
+  kernels::dispatch_dim(d, [&](auto dd) {
+    distance_batch_lanewise<dd()>(a, bs, count, out, d);
   });
 }
 

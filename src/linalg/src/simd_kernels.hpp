@@ -24,6 +24,14 @@ void score_batch_avx2_fastmath(  // ddclint: allow(float-reorder) fast-math tier
     const kernels::ScorerData& s, const double* means, const double* covs,
     std::size_t count, double* out, double* scratch);
 
+/// Lanewise 4-wide batched centroid distance: bit-identical to
+/// kernels::distance2_batch (each lane runs the exact scalar subtract/
+/// multiply/accumulate sequence; vsqrtpd is correctly rounded like
+/// std::sqrt).
+void distance_batch_avx2_lanewise(const double* a, const double* bs,
+                                  std::size_t count, double* out,
+                                  std::size_t d);
+
 }  // namespace ddc::linalg::simd::detail
 
 #endif  // DDC_LINALG_HAVE_AVX2_TU

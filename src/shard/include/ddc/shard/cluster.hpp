@@ -27,23 +27,22 @@ class ShardCluster {
   using Engine = ShardEngine<Node, Codec>;
 
   /// Splits `all_nodes` (one per topology vertex, global order) into
-  /// `num_shards` contiguous shards over a private loopback fabric.
-  /// With link loss configured in `net_options`, set a nonzero
-  /// options.resend_interval_polls (the default suffices) so dropped
-  /// batches are retransmitted.
+  /// `num_shards` shards — assigned by options.partitioner — over a
+  /// private loopback fabric. With link loss configured in
+  /// `net_options`, set a nonzero options.resend_interval_polls (the
+  /// default suffices) so dropped batches are retransmitted.
   ShardCluster(sim::Topology topology, std::vector<Node> all_nodes,
                ShardId num_shards, ShardEngineOptions options = {},
                net::LoopbackOptions net_options = {})
-      : map_(all_nodes.size(), num_shards),
+      : map_(ShardMap::make(options.partitioner, topology, num_shards)),
         network_(num_shards, net_options) {
     DDC_EXPECTS(topology.num_nodes() == all_nodes.size());
     engines_.reserve(num_shards);
-    auto cursor = all_nodes.begin();
     for (ShardId s = 0; s < num_shards; ++s) {
       std::vector<Node> owned;
       owned.reserve(map_.size(s));
-      for (std::size_t j = 0; j < map_.size(s); ++j) {
-        owned.push_back(std::move(*cursor++));
+      for (const sim::NodeId i : map_.owned(s)) {
+        owned.push_back(std::move(all_nodes[i]));
       }
       engines_.emplace_back(topology, map_, s, std::move(owned),
                             num_shards > 1 ? &network_.endpoint(s) : nullptr,
@@ -89,8 +88,7 @@ class ShardCluster {
 
   /// The node object behind global id `i`, wherever it lives.
   [[nodiscard]] const Node& node(sim::NodeId i) const {
-    const ShardId s = map_.shard_of(i);
-    return engines_[s].nodes()[i - map_.begin(s)];
+    return engines_[map_.shard_of(i)].nodes()[map_.local_index(i)];
   }
 
  private:

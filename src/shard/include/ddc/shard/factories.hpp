@@ -47,8 +47,8 @@ using CentroidShardCluster = ShardCluster<gossip::CentroidNode, CentroidCodec>;
   return options;
 }
 
-/// GM nodes for the owned range [map.begin(s), map.end(s)) of a global
-/// input set, with per-node streams derived by global id.
+/// GM nodes for the owned set map.owned(s) of a global input set, with
+/// per-node streams derived by global id.
 [[nodiscard]] inline std::vector<gossip::GmNode> make_gm_shard_nodes(
     const std::vector<linalg::Vector>& inputs,
     const gossip::NetworkConfig& net, const ShardMap& map, ShardId s,
@@ -56,7 +56,7 @@ using CentroidShardCluster = ShardCluster<gossip::CentroidNode, CentroidCodec>;
   DDC_EXPECTS(inputs.size() == map.num_nodes());
   std::vector<gossip::GmNode> nodes;
   nodes.reserve(map.size(s));
-  for (sim::NodeId i = map.begin(s); i < map.end(s); ++i) {
+  for (const sim::NodeId i : map.owned(s)) {
     nodes.emplace_back(
         inputs[i],
         partition::EmPartition(stats::Rng::derive(net.seed, i), reduction),
@@ -65,7 +65,7 @@ using CentroidShardCluster = ShardCluster<gossip::CentroidNode, CentroidCodec>;
   return nodes;
 }
 
-/// Centroid nodes for the owned range (see make_gm_shard_nodes).
+/// Centroid nodes for the owned set (see make_gm_shard_nodes).
 [[nodiscard]] inline std::vector<gossip::CentroidNode>
 make_centroid_shard_nodes(const std::vector<linalg::Vector>& inputs,
                           const gossip::NetworkConfig& net, const ShardMap& map,
@@ -73,13 +73,28 @@ make_centroid_shard_nodes(const std::vector<linalg::Vector>& inputs,
   DDC_EXPECTS(inputs.size() == map.num_nodes());
   std::vector<gossip::CentroidNode> nodes;
   nodes.reserve(map.size(s));
-  for (sim::NodeId i = map.begin(s); i < map.end(s); ++i) {
+  for (const sim::NodeId i : map.owned(s)) {
     nodes.emplace_back(
         inputs[i],
         partition::GreedyDistancePartition<summaries::CentroidPolicy>{},
         gossip::node_options(net, i, inputs.size()));
   }
   return nodes;
+}
+
+/// Exchange-pacing and partitioning knobs an engine factory copies out
+/// of the caller's options_override (the simulation slice always comes
+/// from the EngineConfig).
+[[nodiscard]] inline ShardEngineOptions merge_exchange_options(
+    const sim::EngineConfig& config,
+    const ShardEngineOptions& options_override) {
+  ShardEngineOptions options = shard_options(config);
+  options.resend_interval_polls = options_override.resend_interval_polls;
+  options.max_exchange_polls = options_override.max_exchange_polls;
+  options.idle = options_override.idle;
+  options.partitioner = options_override.partitioner;
+  options.overlap_chunk = options_override.overlap_chunk;
+  return options;
 }
 
 /// One shard of a GM cluster over `transport` (peer ids = shard ids;
@@ -89,11 +104,9 @@ make_centroid_shard_nodes(const std::vector<linalg::Vector>& inputs,
     const sim::EngineConfig& config, ShardId shard_id, ShardId num_shards,
     net::Transport* transport, ShardEngineOptions options_override = {},
     const em::ReductionOptions& reduction = {}) {
-  const ShardMap map(inputs.size(), num_shards);
-  ShardEngineOptions options = shard_options(config);
-  options.resend_interval_polls = options_override.resend_interval_polls;
-  options.max_exchange_polls = options_override.max_exchange_polls;
-  options.idle = options_override.idle;
+  const ShardMap map =
+      ShardMap::make(options_override.partitioner, topology, num_shards);
+  ShardEngineOptions options = merge_exchange_options(config, options_override);
   return GmShardEngine(
       std::move(topology), map, shard_id,
       make_gm_shard_nodes(inputs, gossip::network_config(config), map,
@@ -106,11 +119,9 @@ make_centroid_shard_nodes(const std::vector<linalg::Vector>& inputs,
     sim::Topology topology, const std::vector<linalg::Vector>& inputs,
     const sim::EngineConfig& config, ShardId shard_id, ShardId num_shards,
     net::Transport* transport, ShardEngineOptions options_override = {}) {
-  const ShardMap map(inputs.size(), num_shards);
-  ShardEngineOptions options = shard_options(config);
-  options.resend_interval_polls = options_override.resend_interval_polls;
-  options.max_exchange_polls = options_override.max_exchange_polls;
-  options.idle = options_override.idle;
+  const ShardMap map =
+      ShardMap::make(options_override.partitioner, topology, num_shards);
+  ShardEngineOptions options = merge_exchange_options(config, options_override);
   return CentroidShardEngine(
       std::move(topology), map, shard_id,
       make_centroid_shard_nodes(inputs, gossip::network_config(config), map,
@@ -123,22 +134,28 @@ make_centroid_shard_nodes(const std::vector<linalg::Vector>& inputs,
     sim::Topology topology, const std::vector<linalg::Vector>& inputs,
     const sim::EngineConfig& config, ShardId num_shards,
     net::LoopbackOptions net_options = {},
-    const em::ReductionOptions& reduction = {}) {
+    const em::ReductionOptions& reduction = {},
+    Partitioner partitioner = Partitioner::contiguous) {
+  ShardEngineOptions options = shard_options(config);
+  options.partitioner = partitioner;
   return GmShardCluster(
       std::move(topology),
       gossip::make_gm_nodes(inputs, gossip::network_config(config), reduction),
-      num_shards, shard_options(config), net_options);
+      num_shards, std::move(options), net_options);
 }
 
 /// A whole in-process centroid cluster over a loopback fabric.
 [[nodiscard]] inline CentroidShardCluster make_centroid_shard_cluster(
     sim::Topology topology, const std::vector<linalg::Vector>& inputs,
     const sim::EngineConfig& config, ShardId num_shards,
-    net::LoopbackOptions net_options = {}) {
+    net::LoopbackOptions net_options = {},
+    Partitioner partitioner = Partitioner::contiguous) {
+  ShardEngineOptions options = shard_options(config);
+  options.partitioner = partitioner;
   return CentroidShardCluster(
       std::move(topology),
       gossip::make_centroid_nodes(inputs, gossip::network_config(config)),
-      num_shards, shard_options(config), net_options);
+      num_shards, std::move(options), net_options);
 }
 
 }  // namespace ddc::shard

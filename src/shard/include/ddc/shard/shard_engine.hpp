@@ -2,14 +2,25 @@
 // cross-shard gossip over Transport.
 //
 // A ShardEngine is one process's slice of a round-based simulation. The
-// global Topology is split into contiguous ranges by a ShardMap; this
-// engine owns the node objects of ONE range, replays the round phases of
-// sim::RoundRunner for its range, and exchanges the messages that cross
-// a shard boundary through a net::Transport — all of one round's
+// global Topology is split by a ShardMap (contiguous ranges or the
+// edge-cut-aware BFS partitioner — see shard_map.hpp); this engine owns
+// the node objects of ONE shard, replays the round phases of
+// sim::RoundRunner for them, and exchanges the messages that cross a
+// shard boundary through a net::Transport — all of one round's
 // cross-shard messages to a given peer packed into a single
 // wire::FrameKind::batch frame (encode_batch), acknowledged and
 // retransmitted until delivered, with one batch per peer per round
 // acting as the round barrier (an empty batch is the barrier token).
+//
+// Compute/communication overlap: begin_round() splits the owned nodes
+// into BOUNDARY (this round's plan moves one of their messages across a
+// shard edge) and INTERIOR sets, prepares the boundary first, flushes
+// the batch frames immediately, then prepares the interior in chunks
+// with transport polls in between — peers' frames are on the wire (and
+// being serviced) while the bulk of prepare still runs, instead of the
+// exchange starting only after all compute. Per-node prepare draws are
+// node-local (the same reason prepare may run under parallel_for), so
+// the boundary-first order cannot perturb any stream.
 //
 // Determinism: a 1-shard run, an S-shard loopback run and an S-process
 // UDP run of the same EngineConfig produce bit-identical node states.
@@ -81,6 +92,13 @@ struct ShardEngineOptions : sim::CommonRunnerOptions {
   /// shard is declared dead and the round proceeds without it. 0 waits
   /// forever (in-process clusters, where a missing frame is a bug).
   std::size_t max_exchange_polls = 0;
+  /// Node→shard assignment strategy; consumed by the factories and
+  /// ShardCluster when they build the ShardMap (the engine itself takes
+  /// whatever map it is handed).
+  Partitioner partitioner = Partitioner::contiguous;
+  /// Interior nodes prepared between two transport polls during the
+  /// overlap schedule. 0 disables mid-compute polling (one block).
+  std::size_t overlap_chunk = 512;
   /// Called by run_round() between unsuccessful polls — the driver's
   /// pump (LoopbackNetwork::advance, UdpTransport::maintain + sleep).
   std::function<void()> idle;
@@ -99,6 +117,13 @@ struct ShardEngineStats {
   /// Records that did not match the local replay of the global plan
   /// (only possible after a peer restarted from scratch).
   std::uint64_t unplanned_records = 0;
+  /// Directed owned→remote edges of this shard's map slice (constant
+  /// per run; the traffic ceiling the partitioner bought).
+  std::uint64_t cut_edges = 0;
+  /// Owned nodes classified boundary, summed over rounds.
+  std::uint64_t boundary_nodes = 0;
+  /// Transport polls serviced inside the prepare phase (overlap wins).
+  std::uint64_t polls_during_compute = 0;
 };
 
 /// One process's shard of a round-based gossip simulation. `Codec`
@@ -109,9 +134,10 @@ class ShardEngine {
   using Message = typename Node::Message;
 
   /// Takes ownership of shard `shard_id`'s node objects (`owned_nodes`
-  /// must hold map.size(shard_id) nodes, global ids map.begin(shard_id)
-  /// onward). `transport` is borrowed, must outlive the engine, and may
-  /// be null only for a 1-shard map; its peer ids are shard ids.
+  /// must hold map.size(shard_id) nodes in map.owned(shard_id) order —
+  /// ascending global id). `transport` is borrowed, must outlive the
+  /// engine, and may be null only for a 1-shard map; its peer ids are
+  /// shard ids.
   ShardEngine(sim::Topology topology, ShardMap map, ShardId shard_id,
               std::vector<Node> owned_nodes, net::Transport* transport,
               ShardEngineOptions options = {})
@@ -148,15 +174,33 @@ class ShardEngine {
     if (threads > 1) {
       pool_ = std::make_unique<exec::ThreadPool>(threads - 1);
     }
+    stats_.cut_edges = map_.cut_edges(topology_, shard_);
   }
 
-  /// Plans the round (global replay), prepares the owned range and ships
-  /// this round's batch to every peer. Follow with try_complete_round().
+  /// Plans the round (global replay), prepares the owned boundary nodes,
+  /// ships this round's batch to every peer, then prepares the interior
+  /// with transport polls interleaved. Follow with try_complete_round().
   void begin_round() {
     DDC_EXPECTS(!round_open_);
     plan_targets();
-    prepare_messages();
-    send_batches();
+    classify_boundary();
+    const std::size_t n = map_.num_nodes();
+    for (sim::NodeId i = 0; i < n; ++i) replies_[i].reset();
+    for (std::size_t j = 0; j < nodes_.size(); ++j) outbox_[j].reset();
+    prepare_nodes(boundary_js_);
+    send_batches();  // only reads boundary nodes' outbox_/replies_ slots
+    const bool overlap = map_.num_shards() > 1 && options_.overlap_chunk > 0;
+    const std::size_t chunk =
+        overlap ? options_.overlap_chunk : interior_js_.size();
+    const std::span<const std::size_t> interior(interior_js_);
+    for (std::size_t off = 0; off < interior.size(); off += chunk) {
+      const std::size_t len = std::min(chunk, interior.size() - off);
+      prepare_nodes(interior.subspan(off, len));
+      if (overlap && off + len < interior.size()) {
+        pump_transport();
+        ++stats_.polls_during_compute;
+      }
+    }
     polls_this_round_ = 0;
     round_open_ = true;
   }
@@ -220,7 +264,7 @@ class ShardEngine {
   [[nodiscard]] const sim::Topology& topology() const noexcept {
     return topology_;
   }
-  /// The owned node objects, local index = global id - map().begin(s).
+  /// The owned node objects, local index = map().local_index(global id).
   [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
     return nodes_;
   }
@@ -279,7 +323,7 @@ class ShardEngine {
     return map_.shard_of(i) == shard_;
   }
   [[nodiscard]] std::size_t local(sim::NodeId i) const {
-    return i - map_.begin(shard_);
+    return map_.local_index(i);
   }
 
   /// Stateless per-message loss verdict — identical on every shard by
@@ -315,19 +359,50 @@ class ShardEngine {
     }
   }
 
-  /// Phase 2 — RoundRunner::prepare_messages restricted to the owned
-  /// range. reply_requests_ is global, so an owned responder interleaves
-  /// its own send between lower- and higher-indexed initiators exactly
-  /// as the monolithic engine would, remote initiators included.
-  void prepare_messages() {
+  /// Splits the owned nodes into boundary (this round's plan moves one
+  /// of their messages across a shard edge: an outbound forward, or a
+  /// reply owed to a remote initiator) and interior. Boundary nodes are
+  /// prepared first so the batch frames can leave before interior
+  /// compute starts.
+  void classify_boundary() {
+    boundary_js_.clear();
+    interior_js_.clear();
+    const bool multi = map_.num_shards() > 1;
     const bool sends = sends_data();
     const bool replies = wants_reply();
-    const sim::NodeId base = map_.begin(shard_);
-    const std::size_t n = map_.num_nodes();
-    for (sim::NodeId i = 0; i < n; ++i) replies_[i].reset();
-    for (std::size_t j = 0; j < nodes_.size(); ++j) outbox_[j].reset();
-    exec::parallel_for(pool_.get(), nodes_.size(), [&](std::size_t j) {
-      const sim::NodeId g = base + j;
+    const std::span<const sim::NodeId> owned = map_.owned(shard_);
+    for (std::size_t j = 0; j < owned.size(); ++j) {
+      const sim::NodeId g = owned[j];
+      bool boundary = false;
+      if (multi) {
+        if (sends && targets_[g] && !owns(*targets_[g])) boundary = true;
+        if (!boundary && replies) {
+          for (const sim::NodeId r : reply_requests_[g]) {
+            if (!owns(r)) {
+              boundary = true;
+              break;
+            }
+          }
+        }
+      }
+      (boundary ? boundary_js_ : interior_js_).push_back(j);
+    }
+    stats_.boundary_nodes += boundary_js_.size();
+  }
+
+  /// Phase 2 — RoundRunner::prepare_messages restricted to the given
+  /// owned local indices. reply_requests_ is global, so an owned
+  /// responder interleaves its own send between lower- and
+  /// higher-indexed initiators exactly as the monolithic engine would,
+  /// remote initiators included. Per-node draws are node-local, so any
+  /// split of the owned set into prepare_nodes calls is bit-identical.
+  void prepare_nodes(std::span<const std::size_t> js) {
+    const bool sends = sends_data();
+    const bool replies = wants_reply();
+    const std::span<const sim::NodeId> owned = map_.owned(shard_);
+    exec::parallel_for(pool_.get(), js.size(), [&](std::size_t idx) {
+      const std::size_t j = js[idx];
+      const sim::NodeId g = owned[j];
       if (replies) {
         const std::vector<sim::NodeId>& requests = reply_requests_[g];
         std::size_t r = 0;
@@ -526,10 +601,15 @@ class ShardEngine {
     for (ShardId s = 0; s < map_.num_shards(); ++s) {
       if (s == shard_) continue;
       PeerState& peer = peers_[s];
-      if (!peer.acked && !peer.dead) {
-        transport_->send(s, peer.sent_frame);
-        ++stats_.retransmits;
-      }
+      if (peer.acked || peer.dead) continue;
+      // A peer provably past this round has received our batch (it could
+      // not have settled its own barrier otherwise) — only its ack is
+      // missing or in flight. Re-sending the frame, usually a bare
+      // barrier token, would just provoke another re-ack;
+      // peer_settled() already treats the advanced peer as settled.
+      if (peer.future_round && *peer.future_round > round_) continue;
+      transport_->send(s, peer.sent_frame);
+      ++stats_.retransmits;
     }
   }
 
@@ -631,11 +711,11 @@ class ShardEngine {
     }
   }
 
-  /// Phase 4 — batch absorption over the owned range.
+  /// Phase 4 — batch absorption over the owned nodes.
   void absorb_inboxes() {
-    const sim::NodeId base = map_.begin(shard_);
+    const std::span<const sim::NodeId> owned = map_.owned(shard_);
     exec::parallel_for(pool_.get(), nodes_.size(), [&](std::size_t j) {
-      if (alive_[base + j] && !inbox_[j].empty()) {
+      if (alive_[owned[j]] && !inbox_[j].empty()) {
         nodes_[j].absorb(std::move(inbox_[j]));
       }
     });
@@ -670,6 +750,8 @@ class ShardEngine {
   // Owned-range scratch.
   std::vector<std::optional<Message>> outbox_;
   std::vector<std::vector<Message>> inbox_;
+  std::vector<std::size_t> boundary_js_;
+  std::vector<std::size_t> interior_js_;
   std::vector<StoredRecord*> fwd_index_;
   std::vector<StoredRecord*> reply_index_;
   std::vector<StoredRecord*> leftovers_;

@@ -19,6 +19,12 @@ struct CentroidPolicy {
   using Value = linalg::Vector;
   using Summary = linalg::Vector;
 
+  /// Summaries are plain Euclidean points and `distance` is the L2
+  /// metric, so GreedyDistancePartition may pack them into a flat
+  /// row-major buffer and fill its distance matrix through the batched
+  /// (lanewise-SIMD, bit-exact) linalg::simd distance kernel.
+  static constexpr bool kPackedEuclideanSummary = true;
+
   /// Algorithm 2, valToSummary: the centroid of {⟨val, 1⟩} is val itself.
   [[nodiscard]] static Summary val_to_summary(const Value& value) {
     return value;

@@ -22,6 +22,7 @@
 #include <ddc/linalg/kernels.hpp>
 #include <ddc/linalg/matrix.hpp>
 #include <ddc/linalg/moments.hpp>
+#include <ddc/linalg/simd.hpp>
 #include <ddc/linalg/vector.hpp>
 #include <ddc/stats/rng.hpp>
 
@@ -317,6 +318,40 @@ TEST_P(KernelEquivalence, CholeskyClassMatchesReferenceEndToEnd) {
 
 // d = 1..4 exercise the unrolled specializations; 5..8 the dynamic
 // instantiation through the same dispatcher.
+TEST_P(KernelEquivalence, DistanceBatchTiersMatchDistance2) {
+  // The batched centroid-distance kernel backs the greedy partition's
+  // distance-matrix fill, which feeds golden digests: every tier must
+  // be bit-identical to linalg::distance2 per output. Counts straddle
+  // the 4-wide SIMD width so both the vector body and the scalar
+  // remainder are exercised.
+  namespace simd = ddc::linalg::simd;
+  const std::size_t d = GetParam();
+  ddc::stats::Rng rng(500 + d);
+  for (const std::size_t count : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{4}, std::size_t{5},
+                                  std::size_t{11}}) {
+    const Vector a = random_vector(d, rng);
+    std::vector<double> bs(count * d);
+    for (auto& v : bs) v = rng.normal();
+
+    std::vector<double> scalar_out(count);
+    simd::scalar_distance_kernel()(a.data().data(), bs.data(), count,
+                                   scalar_out.data(), d);
+    for (std::size_t j = 0; j < count; ++j) {
+      const Vector b(std::vector<double>(bs.begin() + static_cast<std::ptrdiff_t>(j * d),
+                                         bs.begin() + static_cast<std::ptrdiff_t>((j + 1) * d)));
+      EXPECT_EQ(scalar_out[j], ddc::linalg::distance2(a, b));
+    }
+
+    const simd::DistanceBatchFn lanewise = simd::avx2_lanewise_distance_kernel();
+    if (lanewise != nullptr && simd::cpu_supports_avx2()) {
+      std::vector<double> avx_out(count);
+      lanewise(a.data().data(), bs.data(), count, avx_out.data(), d);
+      EXPECT_EQ(avx_out, scalar_out);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllDims, KernelEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 

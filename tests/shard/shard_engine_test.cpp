@@ -5,10 +5,11 @@
 // Two bit-identity contracts:
 //
 //   1. ShardCluster(S) ≡ ShardCluster(1) for S ∈ {2, 4, 8}, across
-//      3 seeds × {centroid, gm} × {lossless, loss 0.1}, plus gossip
-//      patterns, selection policies, crash models, sparse topologies and
-//      injected link loss (the batch retransmit layer must absorb
-//      dropped frames without changing a bit).
+//      3 seeds × {centroid, gm} × {lossless, loss 0.1} × {contiguous,
+//      edgecut} ownership maps, plus gossip patterns, selection
+//      policies, crash models, sparse topologies and injected link loss
+//      (the batch retransmit layer must absorb dropped frames without
+//      changing a bit).
 //   2. ShardCluster(S) ≡ RoundRunner on LOSSLESS cells. Lossy cells are
 //      excluded by design: the cluster derives stateless per-message
 //      loss verdicts (RoundRunner's sequential loss stream is
@@ -115,12 +116,16 @@ TEST(ShardEquivalence, CentroidMatrix) {
       const std::string reference = digest_cluster(mono);
 
       for (const ShardId shards : {ShardId{2}, ShardId{4}, ShardId{8}}) {
-        auto cluster =
-            make_centroid_shard_cluster(topology, inputs, config, shards);
-        cluster.run_rounds(kRounds);
-        EXPECT_EQ(digest_cluster(cluster), reference)
-            << "centroid seed=" << seed << " loss=" << loss
-            << " shards=" << shards;
+        for (const Partitioner partitioner :
+             {Partitioner::contiguous, Partitioner::edgecut}) {
+          auto cluster = make_centroid_shard_cluster(topology, inputs, config,
+                                                     shards, {}, partitioner);
+          cluster.run_rounds(kRounds);
+          EXPECT_EQ(digest_cluster(cluster), reference)
+              << "centroid seed=" << seed << " loss=" << loss
+              << " shards=" << shards
+              << " map=" << partitioner_name(partitioner);
+        }
       }
 
       if (loss == 0.0) {
@@ -149,10 +154,15 @@ TEST(ShardEquivalence, GmMatrix) {
       const std::string reference = digest_cluster(mono);
 
       for (const ShardId shards : {ShardId{2}, ShardId{4}, ShardId{8}}) {
-        auto cluster = make_gm_shard_cluster(topology, inputs, config, shards);
-        cluster.run_rounds(kRounds);
-        EXPECT_EQ(digest_cluster(cluster), reference)
-            << "gm seed=" << seed << " loss=" << loss << " shards=" << shards;
+        for (const Partitioner partitioner :
+             {Partitioner::contiguous, Partitioner::edgecut}) {
+          auto cluster = make_gm_shard_cluster(topology, inputs, config,
+                                               shards, {}, {}, partitioner);
+          cluster.run_rounds(kRounds);
+          EXPECT_EQ(digest_cluster(cluster), reference)
+              << "gm seed=" << seed << " loss=" << loss << " shards=" << shards
+              << " map=" << partitioner_name(partitioner);
+        }
       }
 
       if (loss == 0.0) {
@@ -197,12 +207,16 @@ TEST(ShardEquivalence, PatternsSelectionCrashesAndSparseTopologies) {
       mono.run_rounds(kRounds);
       const std::string reference = digest_cluster(mono);
 
-      auto cluster = make_centroid_shard_cluster(topology, inputs, config, 3);
-      cluster.run_rounds(kRounds);
-      EXPECT_EQ(digest_cluster(cluster), reference)
-          << "pattern=" << static_cast<int>(c.pattern)
-          << " selection=" << static_cast<int>(c.selection)
-          << " crash=" << c.crash;
+      for (const Partitioner partitioner :
+           {Partitioner::contiguous, Partitioner::edgecut}) {
+        auto cluster = make_centroid_shard_cluster(topology, inputs, config, 3,
+                                                   {}, partitioner);
+        cluster.run_rounds(kRounds);
+        EXPECT_EQ(digest_cluster(cluster), reference)
+            << "pattern=" << static_cast<int>(c.pattern)
+            << " selection=" << static_cast<int>(c.selection)
+            << " crash=" << c.crash << " map=" << partitioner_name(partitioner);
+      }
 
       // Lossless/crashy runs still match RoundRunner exactly (crash
       // draws replay the same env stream).

@@ -91,6 +91,7 @@ struct Config {
   std::size_t shard_id;
   std::size_t nodes_per_shard;
   std::size_t max_exchange_polls;
+  ddc::shard::Partitioner shard_map;
   ddc::sim::EngineConfig engine;
 
   [[nodiscard]] bool shard_mode() const { return num_shards > 0; }
@@ -150,11 +151,13 @@ ddc::net::UdpTransport make_shard_transport(const Config& config) {
 /// stdout so run_cluster.sh can assert on batching efficiency.
 std::string stats_json(const ddc::net::UdpTransport& transport,
                        std::size_t num_peers, std::size_t self,
-                       const ddc::shard::ShardEngineStats* engine) {
+                       const ddc::shard::ShardEngineStats* engine,
+                       const char* shard_map = nullptr) {
   std::ostringstream os;
   os << "{\"mode\":\"" << (engine != nullptr ? "shard" : "node")
      << "\",\"id\":" << self << ",\"injected_losses\":"
      << transport.injected_losses();
+  if (shard_map != nullptr) os << ",\"shard_map\":\"" << shard_map << "\"";
   if (engine != nullptr) {
     const double records_per_frame =
         engine->batch_frames_sent > 0
@@ -170,6 +173,9 @@ std::string stats_json(const ddc::net::UdpTransport& transport,
        << ",\"decode_errors\":" << engine->decode_errors
        << ",\"peer_timeouts\":" << engine->peer_timeouts
        << ",\"unplanned_records\":" << engine->unplanned_records
+       << ",\"cut_edges\":" << engine->cut_edges
+       << ",\"boundary_nodes\":" << engine->boundary_nodes
+       << ",\"polls_during_compute\":" << engine->polls_during_compute
        << ",\"records_per_frame\":" << records_per_frame << "}";
   }
   os << ",\"peers\":[";
@@ -274,8 +280,10 @@ int drive_shard(const Config& config, ddc::net::UdpTransport& transport,
               << " injected_losses=" << transport.injected_losses() << '\n';
   }
   if (config.stats_json) {
-    std::cout << stats_json(transport, config.num_shards, config.shard_id,
-                            &engine.stats())
+    std::cout << stats_json(
+                     transport, config.num_shards, config.shard_id,
+                     &engine.stats(),
+                     ddc::shard::partitioner_name(config.shard_map).data())
               << '\n';
   }
   // Every shard reports its first owned node; shard 0's line is global
@@ -377,6 +385,9 @@ int main(int argc, char** argv) {
                 "polls without traffic before a peer shard is declared "
                 "dead (shard mode; 0 waits forever)",
                 "4000");
+  flags.declare("shard-map",
+                "contiguous | edgecut node->shard assignment (shard mode)",
+                "contiguous");
   flags.declare_bool("stats-json",
                      "print one line of JSON link/batch statistics to "
                      "stdout before the RESULT line");
@@ -407,6 +418,7 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(flags.get_int("shard-id")),
         static_cast<std::size_t>(flags.get_int("nodes-per-shard")),
         static_cast<std::size_t>(flags.get_int("max-exchange-polls")),
+        ddc::shard::parse_partitioner(flags.get("shard-map")),
         ddc::cli::parse_engine_config(flags, node_flag_defaults(),
                                       kNodeFlagSet),
     };
@@ -440,6 +452,7 @@ int main(int argc, char** argv) {
       ddc::net::UdpTransport transport = make_shard_transport(config);
       ddc::shard::ShardEngineOptions pacing;
       pacing.max_exchange_polls = config.max_exchange_polls;
+      pacing.partitioner = config.shard_map;
       pacing.idle = [&transport] {
         transport.maintain();
         std::this_thread::sleep_for(std::chrono::microseconds(500));
