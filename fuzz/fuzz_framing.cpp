@@ -20,7 +20,8 @@
 // flipping bytes (which mostly yields bad-magic rejections), it decodes
 // the input — or falls back to a canonical envelope — mutates one field
 // of the *structured* form (kind, sender, seq, payload, batch-payload
-// synthesis, truncation, magic corruption, bit flip), and re-encodes. libFuzzer picks it up as
+// synthesis, edgecut-shaped batch synthesis, truncation, magic
+// corruption, bit flip), and re-encodes. libFuzzer picks it up as
 // LLVMFuzzerCustomMutator; the standalone driver finds it by weak
 // symbol and applies it to half of its iterations.
 #include <algorithm>
@@ -130,7 +131,7 @@ extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
   } catch (const ddc::wire::DecodeError&) {
   }
 
-  switch (ddc_fuzz::splitmix(state) % 8) {
+  switch (ddc_fuzz::splitmix(state) % 9) {
     case 0:  // kind, valid and invalid alike
       kind = static_cast<FrameKind>(ddc_fuzz::splitmix(state) % 7);
       break;
@@ -170,6 +171,44 @@ extern "C" std::size_t LLVMFuzzerCustomMutator(std::uint8_t* data,
       }
       const std::vector<std::byte> batch = ddc::wire::encode_batch(
           ddc_fuzz::splitmix(state) % 1024, shard, num_shards, records);
+      payload.assign(
+          reinterpret_cast<const std::uint8_t*>(batch.data()),
+          reinterpret_cast<const std::uint8_t*>(batch.data()) + batch.size());
+      break;
+    }
+    case 5: {  // edgecut-shaped batch: scattered ids, dense frames,
+               // mixed payload lengths (including empty), high shard
+               // counts — the shapes an edge-cut ownership map sends
+      kind = FrameKind::batch;
+      const std::uint32_t num_shards =
+          1 + static_cast<std::uint32_t>(ddc_fuzz::splitmix(state) % 64);
+      const std::uint32_t shard =
+          static_cast<std::uint32_t>(ddc_fuzz::splitmix(state)) % num_shards;
+      // Occasionally sit on the 127-record one-byte-varint boundary.
+      const std::size_t num_records =
+          ddc_fuzz::splitmix(state) % 4 == 0 ? 127
+                                             : ddc_fuzz::splitmix(state) % 32;
+      const std::uint32_t stride =
+          1 + static_cast<std::uint32_t>(ddc_fuzz::splitmix(state) % 8191);
+      std::vector<std::vector<std::byte>> payloads(num_records);
+      std::vector<ddc::wire::BatchRecord> records;
+      records.reserve(num_records);
+      for (std::size_t r = 0; r < num_records; ++r) {
+        if (ddc_fuzz::splitmix(state) % 3 != 0) {
+          payloads[r].resize(ddc_fuzz::splitmix(state) % 20);
+          for (auto& b : payloads[r]) {
+            b = static_cast<std::byte>(ddc_fuzz::splitmix(state));
+          }
+        }
+        const auto id = static_cast<std::uint32_t>(r);
+        records.push_back(
+            {(id * stride) % 65536U,
+             (id * stride + stride / 2) % 65536U,
+             static_cast<ddc::wire::BatchTag>(ddc_fuzz::splitmix(state) % 2),
+             payloads[r]});
+      }
+      const std::vector<std::byte> batch = ddc::wire::encode_batch(
+          ddc_fuzz::splitmix(state) % 4096, shard, num_shards, records);
       payload.assign(
           reinterpret_cast<const std::uint8_t*>(batch.data()),
           reinterpret_cast<const std::uint8_t*>(batch.data()) + batch.size());

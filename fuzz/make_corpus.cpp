@@ -132,6 +132,41 @@ void make_framing(const std::filesystem::path& dir) {
   write_file(dir / "batch_shard_out_of_range.bin",
              encode_frame(FrameKind::batch, 1, 13,
                           ddc::wire::encode_batch(0, 9, 4, {})));
+
+  // Edge-cut-era shapes (PR 9): an edgecut ownership map scatters a
+  // shard's nodes across the global id space, so realistic batches mix
+  // widely separated src/dst ids and payload lengths (including zero)
+  // in one frame; barrier tokens ride high shard counts; and a dense
+  // frame sits exactly on the 127-record varint-length boundary.
+  const auto one_byte = bytes_of({0x01});
+  const std::vector<BatchRecord> scattered = {
+      {3, 1021, BatchTag::forward, {}},
+      {517, 2, BatchTag::reply, payload},
+      {999, 0, BatchTag::forward, rec_payload},
+      {0, 65535, BatchTag::reply, {}},
+      {4093, 511, BatchTag::forward, one_byte},
+  };
+  write_file(dir / "batch_edgecut_scattered.bin",
+             encode_frame(FrameKind::batch, 4, 77,
+                          ddc::wire::encode_batch(9, 4, 6, scattered)));
+  write_file(dir / "batch_barrier_many_shards.bin",
+             encode_frame(FrameKind::batch, 30, 900,
+                          ddc::wire::encode_batch(40, 30, 32, {})));
+  std::vector<BatchRecord> dense;
+  std::vector<std::vector<std::byte>> dense_payloads;
+  dense.reserve(127);
+  dense_payloads.reserve(127);
+  for (unsigned r = 0; r < 127; ++r) {
+    dense_payloads.push_back(
+        r % 3 == 0 ? std::vector<std::byte>{}
+                   : bytes_of({r & 0xffU, (r * 37U) & 0xffU}));
+    dense.push_back({(r * 97U) % 8191U, (r * 193U) % 8191U,
+                     r % 2 == 0 ? BatchTag::forward : BatchTag::reply,
+                     dense_payloads.back()});
+  }
+  write_file(dir / "batch_dense_127.bin",
+             encode_frame(FrameKind::batch, 2, 500,
+                          ddc::wire::encode_batch(25, 1, 2, dense)));
 }
 
 void make_classifier(const std::filesystem::path& dir) {

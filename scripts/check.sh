@@ -7,22 +7,30 @@
 #
 #   1. format      clang-format --check against .clang-format
 #                  (skips, loudly, where clang-format is absent).
-#   2. ddclint     determinism lint: self-test (one planted violation
-#                  per rule must be caught), then the deterministic
-#                  modules must scan clean. scripts/lint_determinism.sh.
+#   2. lint        both lint generations (scripts/lint.sh): ddclint's
+#                  determinism rules, then ddcverify's protocol
+#                  invariants (wire-taint, hot-path-alloc, simd-parity).
+#                  Each tool self-tests its planted violations first.
 #   3. clang-tidy  curated .clang-tidy over src/ tools/ bench/ fuzz/
 #                  (skips, loudly, where clang-tidy is absent; CI has
 #                  it and exports DDC_TIDY_STRICT=1).
-#   4. TSan        exec/sim/gossip suites under ThreadSanitizer — the
+#   4. schedules   the schedule-exhaustive race explorer
+#                  (tests/shard/schedule_explorer_test.cpp): every
+#                  delivery order / drop / duplication schedule of the
+#                  shard batch+ack round must complete with the
+#                  1-shard-identical digest, and the planted
+#                  empty-barrier-retransmit bug must be caught.
+#   5. TSan        exec/sim/gossip suites under ThreadSanitizer — the
 #                  parallel engine's determinism tests drive the pool
 #                  at several thread counts, which is where races live.
-#   5. ASan+UBSan  the FULL ctest suite under AddressSanitizer +
+#   6. ASan+UBSan  the FULL ctest suite under AddressSanitizer +
 #                  UndefinedBehaviorSanitizer. Not just wire/net/io:
 #                  the partition/EM hot paths rewritten in PR 3 run
-#                  under ASan here too, as do the shard suite and the
-#                  multi-shard UDP smoke (cluster_multishard_smoke
-#                  drives sanitized ddcnode shard processes).
-#   6. SIMD tiers  a dedicated -mavx2 build runs the kernel-equivalence
+#                  under ASan here too, as do the shard suite, the
+#                  schedule explorer and the multi-shard UDP smoke
+#                  (cluster_multishard_smoke drives sanitized ddcnode
+#                  shard processes).
+#   7. SIMD tiers  a dedicated -mavx2 build runs the kernel-equivalence
 #                  and batched-scorer suites (the lanewise AVX2 kernel
 #                  must be bit-identical to the scalar reference; the
 #                  fast-math tier must sit inside its documented error
@@ -30,7 +38,7 @@
 #                  DDC_SIMD=scalar — including the sim golden digests —
 #                  and a ddcsim cross-mode run asserts --simd=auto and
 #                  --simd=scalar produce byte-identical RESULT lines.
-#   7. bench gate  smoke-mode scripts/bench_gate.sh against
+#   8. bench gate  smoke-mode scripts/bench_gate.sh against
 #                  BENCH_hotpath.json, so a hot-path complexity
 #                  regression (say, an accidental return to the O(m³)
 #                  partition rescan) fails even when every unit test
@@ -40,7 +48,7 @@
 #                  scripts/bench_gate.sh --scale-full); then the
 #                  sharded-cluster tier against BENCH_cluster.json
 #                  (loopback throughput, RSS, records per batch frame).
-#   8. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
+#   9. fuzz smoke  both fuzz harnesses (wire framing decode, classifier
 #                  invariants via the ddc::audit pool auditors) replay
 #                  the committed corpus plus DDC_FUZZ_RUNS fresh
 #                  deterministic iterations under ASan+UBSan.
@@ -55,15 +63,15 @@ cd "$(dirname "$0")/.."
 
 DDC_FUZZ_RUNS=${DDC_FUZZ_RUNS:-20000}
 
-echo "=== gate 1/8: format check ==="
+echo "=== gate 1/9: format check ==="
 scripts/format.sh --check
 
 echo
-echo "=== gate 2/8: determinism lint ==="
-scripts/lint_determinism.sh
+echo "=== gate 2/9: lint (determinism + protocol invariants) ==="
+scripts/lint.sh
 
 echo
-echo "=== gate 3/8: clang-tidy ==="
+echo "=== gate 3/9: clang-tidy ==="
 scripts/tidy.sh
 
 if [[ "${DDC_SKIP_SLOW:-0}" == "1" ]]; then
@@ -78,7 +86,15 @@ SIMD_DIR=build-simd
 FUZZ_DIR=build-fuzz
 
 echo
-echo "=== gate 4/8: ThreadSanitizer (exec, sim, gossip) ==="
+echo "=== gate 4/9: schedule-exhaustive race explorer ==="
+cmake -B build -S . >/dev/null
+cmake --build build --target schedule_tests -j "$(nproc)"
+build/tests/schedule_tests
+
+echo "Schedule gate passed: all explored schedules barrier-live and bit-exact."
+
+echo
+echo "=== gate 5/9: ThreadSanitizer (exec, sim, gossip) ==="
 cmake -B "$TSAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
@@ -92,7 +108,7 @@ cmake --build "$TSAN_DIR" --target exec_tests sim_tests gossip_tests -j "$(nproc
 echo "TSan-clean: exec, sim and gossip test suites."
 
 echo
-echo "=== gate 5/8: ASan+UBSan, full test suite ==="
+echo "=== gate 6/9: ASan+UBSan, full test suite ==="
 cmake -B "$ASAN_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
@@ -100,8 +116,8 @@ cmake -B "$ASAN_DIR" \
 cmake --build "$ASAN_DIR" -j "$(nproc)" --target \
   linalg_tests stats_tests core_tests summaries_tests em_tests \
   partition_tests exec_tests sim_tests gossip_tests wire_tests net_tests \
-  shard_tests audit_tests metrics_tests workload_tests io_tests cli_tests \
-  integration_tests ddcsim ddcnode
+  shard_tests schedule_tests audit_tests metrics_tests workload_tests \
+  io_tests cli_tests integration_tests ddcsim ddcnode
 
 # halt_on_error so UBSan findings fail the gate instead of scrolling by.
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
@@ -110,7 +126,7 @@ export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 echo "ASan+UBSan-clean: full ctest suite."
 
 echo
-echo "=== gate 6/8: SIMD tiers (AVX2 build + forced-scalar rerun) ==="
+echo "=== gate 7/9: SIMD tiers (AVX2 build + forced-scalar rerun) ==="
 cmake -B "$SIMD_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DCMAKE_CXX_FLAGS="-mavx2"
@@ -145,7 +161,7 @@ fi
 echo "SIMD gate passed: AVX2 + forced-scalar legs clean, cross-mode RESULT identical."
 
 echo
-echo "=== gate 7/8: bench regression gate ==="
+echo "=== gate 8/9: bench regression gate ==="
 # The gate needs an optimized, unsanitized binary; the default build dir
 # is RelWithDebInfo. Smoke mode keeps the run short and its tolerance
 # loose enough for a loaded CI host while still catching order-of-
@@ -167,7 +183,7 @@ scripts/bench_gate.sh --cluster
 echo "Cluster gate passed: sharded tier within tolerance of BENCH_cluster.json."
 
 echo
-echo "=== gate 8/8: fuzz smoke ==="
+echo "=== gate 9/9: fuzz smoke ==="
 cmake -B "$FUZZ_DIR" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DDDC_FUZZ=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \

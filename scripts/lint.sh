@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Both lint generations, one entry point:
+#
+#   1. ddclint    (scripts/lint_determinism.sh) — determinism rules over
+#                 the bit-reproducible modules.
+#   2. ddcverify  (scripts/verify_invariants.sh) — protocol invariants:
+#                 wire-taint, hot-path-alloc, simd-parity.
+#
+# Each runs its planted-violation self-test before scanning, so a rule
+# that has gone blind fails here, not in review.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scripts/lint_determinism.sh
+echo
+scripts/verify_invariants.sh

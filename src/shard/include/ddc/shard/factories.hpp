@@ -94,6 +94,8 @@ make_centroid_shard_nodes(const std::vector<linalg::Vector>& inputs,
   options.idle = options_override.idle;
   options.partitioner = options_override.partitioner;
   options.overlap_chunk = options_override.overlap_chunk;
+  options.testing_suppress_empty_barrier_retransmit =
+      options_override.testing_suppress_empty_barrier_retransmit;
   return options;
 }
 

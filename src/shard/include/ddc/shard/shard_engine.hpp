@@ -102,6 +102,11 @@ struct ShardEngineOptions : sim::CommonRunnerOptions {
   /// Called by run_round() between unsuccessful polls — the driver's
   /// pump (LoopbackNetwork::advance, UdpTransport::maintain + sleep).
   std::function<void()> idle;
+  /// TESTING ONLY — re-enables a historic bug class for the schedule
+  /// explorer's planted-bug self-test: when set, empty batches (bare
+  /// barrier tokens) are never retransmitted, so a dropped barrier
+  /// deadlocks the round. Production code must leave this false.
+  bool testing_suppress_empty_barrier_retransmit = false;
 };
 
 /// Counters of the batch exchange, for soak assertions and benchmarks.
@@ -180,6 +185,7 @@ class ShardEngine {
   /// Plans the round (global replay), prepares the owned boundary nodes,
   /// ships this round's batch to every peer, then prepares the interior
   /// with transport polls interleaved. Follow with try_complete_round().
+  // ddcverify: hotpath
   void begin_round() {
     DDC_EXPECTS(!round_open_);
     plan_targets();
@@ -208,6 +214,7 @@ class ShardEngine {
   /// Polls the transport once; when every peer's round batch has arrived
   /// (or the peer timed out / moved ahead) and every own batch is acked,
   /// finishes the round (deliver, absorb, crash draws) and returns true.
+  // ddcverify: hotpath
   [[nodiscard]] bool try_complete_round() {
     DDC_EXPECTS(round_open_);
     if (map_.num_shards() > 1) {
@@ -301,6 +308,7 @@ class ShardEngine {
   /// Exchange state for one peer shard.
   struct PeerState {
     std::vector<std::byte> sent_frame;  // this round's batch, for resend
+    bool sent_records = false;  // false = bare barrier token
     bool acked = false;
     bool got_batch = false;
     std::vector<StoredRecord> records;
@@ -427,8 +435,14 @@ class ShardEngine {
     if (map_.num_shards() == 1) return;
     const bool sends = sends_data();
     const bool replies = wants_reply();
-    std::vector<std::vector<std::byte>> encoded;  // keeps payloads alive
-    std::vector<std::vector<wire::BatchRecord>> outgoing(map_.num_shards());
+    // Reused member scratch (hot-path-alloc): the outer vectors keep
+    // their capacity across rounds; `encoded` keeps payloads alive
+    // until the per-peer frames are built below.
+    std::vector<std::vector<std::byte>>& encoded = encode_scratch_;
+    encoded.clear();
+    outgoing_scratch_.resize(map_.num_shards());
+    std::vector<std::vector<wire::BatchRecord>>& outgoing = outgoing_scratch_;
+    for (std::vector<wire::BatchRecord>& records : outgoing) records.clear();
     const std::size_t n = map_.num_nodes();
     for (sim::NodeId i = 0; i < n; ++i) {
       if (!alive_[i] || !targets_[i]) continue;
@@ -457,10 +471,15 @@ class ShardEngine {
     for (ShardId s = 0; s < map_.num_shards(); ++s) {
       if (s == shard_) continue;
       PeerState& peer = peers_[s];
+      // Audited: one bounded frame per peer per round; encode_batch
+      // sizes its buffer once from the record set and the result is
+      // immediately moved into the peer's resend slot.
+      // ddcverify: allow(hot-path-alloc)
       const std::vector<std::byte> payload = wire::encode_batch(
           round_, shard_, map_.num_shards(), outgoing[s]);
       peer.sent_frame = wire::encode_frame(wire::FrameKind::batch, shard_,
                                            round_ + 1, payload);
+      peer.sent_records = !outgoing[s].empty();
       peer.acked = false;
       peer.silent_polls = 0;
       // A batch buffered one round ahead becomes current now. (A batch
@@ -561,6 +580,10 @@ class ShardEngine {
 
   [[nodiscard]] std::vector<StoredRecord> store_records(
       const wire::Batch& batch) const {
+    // Audited: the received payload spans borrow the transport's frame
+    // buffer, which dies at the next receive() — copying them out is
+    // the point. Bounded by the peer's record count for the round.
+    // ddcverify: allow(hot-path-alloc)
     std::vector<StoredRecord> stored;
     stored.reserve(batch.records.size());
     for (const wire::BatchRecord& rec : batch.records) {
@@ -608,6 +631,14 @@ class ShardEngine {
       // barrier token, would just provoke another re-ack;
       // peer_settled() already treats the advanced peer as settled.
       if (peer.future_round && *peer.future_round > round_) continue;
+      // The planted bug the schedule explorer's self-test re-enables:
+      // an early draft reasoned "an empty batch moves no data, so it
+      // need not be retransmitted" — but the empty batch IS the
+      // barrier token, and dropping its only copy deadlocks the round.
+      if (options_.testing_suppress_empty_barrier_retransmit &&
+          !peer.sent_records) {
+        continue;
+      }
       transport_->send(s, peer.sent_frame);
       ++stats_.retransmits;
     }
@@ -755,6 +786,9 @@ class ShardEngine {
   std::vector<StoredRecord*> fwd_index_;
   std::vector<StoredRecord*> reply_index_;
   std::vector<StoredRecord*> leftovers_;
+  // send_batches() scratch, reused across rounds (hot-path-alloc).
+  std::vector<std::vector<std::byte>> encode_scratch_;
+  std::vector<std::vector<wire::BatchRecord>> outgoing_scratch_;
   std::vector<PeerState> peers_;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::size_t round_ = 0;

@@ -137,6 +137,7 @@ class SoaRoundEngine {
 
   /// Executes one round — same five phases, same environment draw order
   /// as RoundRunner<Node>::run_round.
+  // ddcverify: hotpath
   void run_round() {
     plan_targets();
     // Audited timing probes (as in RoundRunner): the clock reads feed the

@@ -134,6 +134,7 @@ double ExpectedLogPdfScorer::score(const Gaussian& a) const {
   });
 }
 
+// ddcverify: hotpath
 void ExpectedLogPdfScorer::score_batch(const GaussianBatch& batch,
                                        double* out) const {
   DDC_EXPECTS(batch.empty() || batch.dim() == d_);

